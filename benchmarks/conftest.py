@@ -1,0 +1,73 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark registers its measurements in a module-global registry; a
+session-scoped autouse fixture prints the paper-style comparison tables
+after the run (pytest-benchmark's own table covers wall times, the
+registry covers log bytes, I/O calls, ratios, and the paper's numbers).
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+RESULTS: dict[str, dict] = collections.defaultdict(dict)
+
+
+def record(section: str, key, value) -> None:
+    RESULTS[section][key] = value
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    if "table1" in RESULTS:
+        for line in _render_table1(RESULTS["table1"]):
+            write(line)
+    for section in sorted(RESULTS):
+        if section == "table1":
+            continue
+        write("")
+        write(f"--- {section} ---")
+        for key in sorted(RESULTS[section], key=str):
+            write(f"  {key}: {RESULTS[section][key]}")
+    write("=" * 78)
+
+
+PAPER_TABLE1 = {
+    ("int4", 32): (7.3, 2.4),
+    ("int4", 64): (8.0, 2.4),
+    ("wide40", 32): (4.9, 3.7),
+    ("wide40", 64): (5.4, 4.0),
+}
+
+
+def _render_table1(data: dict) -> list[str]:
+    """Render the Table 1 reproduction next to the paper's numbers."""
+    out = [
+        "TABLE 1 REPRODUCTION — Log Space and CPU Time vs ntasize",
+        "(Lratio/Cratio = cost at ntasize 1 divided by cost at the given "
+        "ntasize; paper values in parentheses;",
+        " Cmodel = same ratio under the machine-independent operation-count "
+        "cost model)",
+        "",
+        f"{'config':<8} {'ntasize':>7} {'Lratio':>14} {'Cratio':>14} "
+        f"{'Cmodel':>7} {'log B/page':>11} {'cpu ms/page':>12}",
+    ]
+    for (config, nta), row in sorted(data.items()):
+        paper = PAPER_TABLE1.get((config, nta))
+        paper_l = f"({paper[0]:.1f})" if paper else ""
+        paper_c = f"({paper[1]:.1f})" if paper else ""
+        out.append(
+            f"{config:<8} {nta:>7} "
+            f"{row['lratio']:>7.1f} {paper_l:>6} "
+            f"{row['cratio']:>7.1f} {paper_c:>6} "
+            f"{row.get('cratio_model', 0):>7.1f} "
+            f"{row['log_bytes_per_page']:>11.0f} "
+            f"{row['cpu_ms_per_page']:>12.2f}"
+        )
+    return out

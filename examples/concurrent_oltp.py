@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: rebuild an index *while OLTP runs*.
+
+Four writer/reader threads hammer the index with inserts, deletes, and
+range scans while the online rebuild walks the leaf chain.  The §2
+concurrency protocol (SPLIT/SHRINK bits + address locks + instant-duration
+lock waits) means operations briefly wait when they hit the handful of
+pages a top action holds, and never deadlock and never abort (§6.5, §7).
+
+Afterwards the structural verifier checks every invariant and we confirm
+no key owned by the measurement range was lost.
+
+Run:  python examples/concurrent_oltp.py
+"""
+
+import time
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.workload import MixedWorkload, int4_key
+
+
+def main() -> None:
+    engine = Engine(buffer_capacity=16384, lock_timeout=60.0)
+    index = engine.create_index(key_len=4)
+
+    print("Building a half-empty 25,000-row index ...")
+    for k in range(0, 50_000, 2):
+        index.insert(int4_key(k), k)
+    for k in range(0, 50_000, 4):
+        index.delete(int4_key(k), k)
+    before = index.verify()
+    print(f"  leaves={before.leaf_pages}  fill={before.leaf_fill:.0%}")
+
+    print("\nStarting 4 OLTP threads (70% writes, 30% range scans) ...")
+    workload = MixedWorkload(
+        index, int4_key, key_count=50_000, threads=4, write_fraction=0.7,
+    )
+    workload.start()
+
+    print("Running the online rebuild under load ...")
+    t0 = time.perf_counter()
+    report = OnlineRebuild(
+        index, RebuildConfig(ntasize=16, xactsize=64)
+    ).run()
+    rebuild_wall = time.perf_counter() - t0
+    stats = workload.stop()
+
+    if stats.errors:
+        raise SystemExit(f"OLTP thread failed:\n{stats.errors[0]}")
+
+    after = index.verify()
+    print(
+        f"\nrebuild finished in {rebuild_wall:.2f}s: "
+        f"{report.leaf_pages_rebuilt} leaves rebuilt in "
+        f"{report.top_actions} top actions"
+    )
+    print(
+        f"OLTP during the same window: {stats.inserts} inserts, "
+        f"{stats.deletes} deletes, {stats.scans} scans "
+        f"({stats.ops_per_second:,.0f} ops/s) — zero errors, zero aborts"
+    )
+    print(f"after: leaves={after.leaf_pages}  fill={after.leaf_fill:.0%}")
+
+    # Keys outside the writers' subspace must all have survived.
+    missing = [
+        k for k in range(2, 50_000, 4) if not index.contains(int4_key(k), k)
+    ]
+    assert not missing, f"lost keys: {missing[:5]}"
+    print("verification: structure valid, no measurement key lost.")
+
+
+if __name__ == "__main__":
+    main()

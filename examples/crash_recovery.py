@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Power failure in the middle of an online rebuild, then recovery.
+
+The rebuild's §3 discipline — WAL for every change, nested top actions,
+new pages forced to disk before old pages are freed — makes it crash-safe
+at any instant.  This example injects a crash right after the third
+multipage top action completes (via a syncpoint hook), throws away every
+buffer frame and the unflushed log tail, runs ARIES-style recovery, and
+shows that:
+
+* the index contents are exactly the pre-crash committed state;
+* completed top actions survive (the rebuild keeps its progress);
+* no page is stranded in the deallocated limbo state (§4.1.3);
+* re-running the rebuild finishes the job.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.concurrency.syncpoints import CrashPoint
+
+
+def intkey(i: int) -> bytes:
+    return i.to_bytes(4, "big")
+
+
+def main() -> None:
+    engine = Engine(buffer_capacity=4096)
+    index = engine.create_index(key_len=4)
+
+    print("Building a fragmented 4,000-row index ...")
+    order = list(range(8_000))
+    random.Random(3).shuffle(order)
+    for k in order:
+        index.insert(intkey(k), k)
+    for k in range(0, 8_000, 2):
+        index.delete(intkey(k), k)
+    expected = index.contents()
+    print(f"  committed contents: {len(expected)} rows")
+
+    fired = {"n": 0}
+
+    def power_failure(ctx):
+        fired["n"] += 1
+        if fired["n"] == 3:
+            raise CrashPoint("power failure after third top action")
+
+    engine.syncpoints.on("rebuild.nta_end", power_failure)
+
+    print("\nRebuilding ... (the machine will lose power mid-flight)")
+    try:
+        OnlineRebuild(index, RebuildConfig(ntasize=8, xactsize=32)).run()
+        raise SystemExit("expected the injected crash")
+    except CrashPoint as exc:
+        print(f"  !! {exc}")
+
+    print("Simulating the crash: buffer pool and unflushed log are gone.")
+    engine.crash()
+
+    print("Running recovery (analysis / redo / undo / free) ...")
+    report = engine.recover()
+    print(
+        f"  redone={report.records_redone} records, "
+        f"undone={report.records_undone}, losers={report.loser_txns}, "
+        f"pages freed={len(report.pages_freed)}"
+    )
+
+    index = engine.index(1)
+    stats = index.verify()
+    assert index.contents() == expected, "contents diverged!"
+    assert engine.ctx.page_manager.deallocated_pages() == []
+    print(
+        f"  contents intact ({stats.rows} rows), structure valid, "
+        "no page stranded."
+    )
+
+    print("\nFinishing the rebuild after recovery ...")
+    engine.syncpoints.clear()
+    OnlineRebuild(index, RebuildConfig(ntasize=8, xactsize=32)).run()
+    after = index.verify()
+    assert index.contents() == expected
+    print(
+        f"  done: leaves packed to {after.leaf_fill:.0%}, contents still "
+        "exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

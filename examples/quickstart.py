@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: build a secondary index, fragment it, rebuild it online.
+
+This walks the library's core loop end to end:
+
+1. create an engine (2 KB pages, WAL, buffer pool) and a secondary index;
+2. load it through the normal insert path, then delete half the rows —
+   the classic OLTP aging that leaves pages half empty and the leaf chain
+   scattered across disk;
+3. run the paper's online rebuild (multipage rebuild top actions,
+   ntasize=32) and compare utilization, clustering, and page counts.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.workload import declustering_metric
+
+
+def intkey(i: int) -> bytes:
+    return i.to_bytes(4, "big")
+
+
+def describe(tag: str, index) -> None:
+    stats = index.verify()  # also checks every structural invariant
+    print(
+        f"{tag:<14} height={stats.height}  leaves={stats.leaf_pages:>4}  "
+        f"rows={stats.rows}  leaf fill={stats.leaf_fill:4.0%}  "
+        f"declustering={declustering_metric(index):6.1f}"
+    )
+
+
+def main() -> None:
+    engine = Engine(buffer_capacity=8192, io_size=16384)
+    index = engine.create_index(key_len=4)
+
+    print("Loading 30,000 rows in random order (real insert path) ...")
+    order = list(range(30_000))
+    random.Random(7).shuffle(order)
+    for k in order:
+        index.insert(intkey(k), rowid=k)
+    describe("loaded", index)
+
+    print("Deleting every other row (index ages, pages go half-empty) ...")
+    for k in range(0, 30_000, 2):
+        index.delete(intkey(k), k)
+    describe("fragmented", index)
+
+    print("Online rebuild (ntasize=32, fillfactor=100%) ...")
+    report = OnlineRebuild(
+        index, RebuildConfig(ntasize=32, xactsize=256)
+    ).run()
+    describe("rebuilt", index)
+
+    print(
+        f"\nrebuild: {report.leaf_pages_rebuilt} old leaves -> "
+        f"{report.new_leaf_pages} new leaves in {report.top_actions} "
+        f"multipage top actions across {report.transactions} transactions"
+    )
+    print(
+        f"log written: {report.log_bytes / 1024:.0f} KiB "
+        f"({report.log_records} records); old pages freed: "
+        f"{report.pages_freed}; wall time {report.wall_seconds:.2f}s"
+    )
+
+    # The index stays fully usable, of course.
+    assert index.contains(intkey(1), 1)
+    hits = sum(1 for _ in index.scan(lo=intkey(101), hi=intkey(199)))
+    print(f"range scan [101, 199] returns {hits} rows — all odd keys there.")
+
+
+if __name__ == "__main__":
+    main()

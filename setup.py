@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable installs (which build an editable wheel) cannot run.  Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml makes
+``pip install -e .`` take the legacy ``setup.py develop`` path, which works
+offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""B+-tree index manager: traversal, split, shrink, scans, verification."""
+
+from repro.btree.keys import (
+    ROWID_LEN,
+    leaf_unit,
+    search_ceiling,
+    search_floor,
+    separator,
+    split_unit,
+)
+from repro.btree.traversal import AccessMode, Traversal
+from repro.btree.tree import BTree
+from repro.btree.verify import TreeStats, collect_contents, verify_tree
+
+__all__ = [
+    "AccessMode",
+    "BTree",
+    "ROWID_LEN",
+    "Traversal",
+    "TreeStats",
+    "collect_contents",
+    "leaf_unit",
+    "search_ceiling",
+    "search_floor",
+    "separator",
+    "split_unit",
+    "verify_tree",
+]

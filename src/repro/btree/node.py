@@ -1,0 +1,173 @@
+"""Typed views over index pages: leaf rows and nonleaf index entries.
+
+A **leaf row** is the comparable unit ``key || rowid`` from
+:mod:`repro.btree.keys`; rows on a leaf are kept in strictly increasing
+byte order, so plain binary search positions both lookups and inserts.
+
+A **nonleaf index entry** is ``separator || child_pageid`` with the child
+id in the last 4 bytes.  A page with ``n`` children holds ``n`` entries
+``C0, [K1, C1], ..., [Kn-1, Cn-1]`` — the paper's §5 representation where
+*the first entry carries no key value* (we store an empty separator, which
+sorts before everything).  Child ``Ci`` (i >= 1) covers units ``>= Ki``;
+``C0`` covers units below ``K1``.
+
+Binary searches here count key comparisons into the engine's cost-model
+counters, which feed the Cratio benchmark.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+from repro.errors import BTreeError, TreeStructureError
+from repro.stats.counters import Counters
+from repro.storage.page import Page, PageType
+
+CHILD_LEN = 4
+
+
+class IndexEntry(NamedTuple):
+    """A decoded nonleaf entry: separator key and child page id."""
+
+    key: bytes
+    child: int
+
+
+def encode_entry(key: bytes, child: int) -> bytes:
+    return key + struct.pack("<I", child)
+
+
+def decode_entry(row: bytes) -> IndexEntry:
+    if len(row) < CHILD_LEN:
+        raise BTreeError(f"nonleaf entry of {len(row)} bytes is too short")
+    (child,) = struct.unpack_from("<I", row, len(row) - CHILD_LEN)
+    return IndexEntry(row[:-CHILD_LEN], child)
+
+
+def entry_key(row: bytes) -> bytes:
+    return row[:-CHILD_LEN]
+
+
+def entry_child(row: bytes) -> int:
+    (child,) = struct.unpack_from("<I", row, len(row) - CHILD_LEN)
+    return child
+
+
+def strip_entry_key(row: bytes) -> bytes:
+    """The same entry with an empty separator (new-first-child rule, §5)."""
+    return row[-CHILD_LEN:]
+
+
+# ------------------------------------------------------------------ leaf ops
+
+
+def leaf_search(page: Page, unit: bytes, counters: Counters) -> tuple[int, bool]:
+    """Binary search for ``unit``; returns (position, found).
+
+    Rows are compared by their leading ``len(unit)`` bytes: a secondary
+    index stores bare units, a primary index (paper footnote 2) appends a
+    data payload after the unit, and the unit prefix alone is unique.
+    ``position`` is where the unit is, or where it would be inserted.
+    """
+    rows = page.rows
+    width = len(unit)
+    lo, hi = 0, len(rows)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        counters.add("key_comparisons")
+        if rows[mid][:width] < unit:
+            lo = mid + 1
+        else:
+            hi = mid
+    found = lo < len(rows) and rows[lo][:width] == unit
+    return lo, found
+
+
+def leaf_low_unit(page: Page) -> bytes:
+    if page.is_empty:
+        raise TreeStructureError(f"leaf {page.page_id} is empty")
+    return page.rows[0]
+
+
+def leaf_high_unit(page: Page) -> bytes:
+    if page.is_empty:
+        raise TreeStructureError(f"leaf {page.page_id} is empty")
+    return page.rows[-1]
+
+
+# --------------------------------------------------------------- nonleaf ops
+
+
+def child_search(page: Page, unit: bytes, counters: Counters) -> tuple[int, int]:
+    """Route a search unit: returns (entry position, child page id).
+
+    Picks the largest ``i`` with ``Ki <= unit`` (``K0`` is implicitly
+    minus-infinity), i.e. the child whose subtree covers ``unit``.
+    """
+    if page.page_type is not PageType.NONLEAF:
+        raise TreeStructureError(
+            f"page {page.page_id} is not a nonleaf page"
+        )
+    rows = page.rows
+    if not rows:
+        raise TreeStructureError(f"nonleaf {page.page_id} has no entries")
+    lo, hi = 1, len(rows)  # entry 0 always qualifies (no key)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        counters.add("key_comparisons")
+        if entry_key(rows[mid]) <= unit:
+            lo = mid + 1
+        else:
+            hi = mid
+    pos = lo - 1
+    return pos, entry_child(rows[pos])
+
+
+def entry_insert_pos(page: Page, key: bytes, counters: Counters) -> int:
+    """Position at which an entry with separator ``key`` belongs."""
+    rows = page.rows
+    lo, hi = 1, len(rows)  # never before the keyless first entry
+    if not rows:
+        return 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        counters.add("key_comparisons")
+        if entry_key(rows[mid]) <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+def find_child_entry(page: Page, child: int) -> int:
+    """Position of the entry pointing at ``child``; raises if absent."""
+    for pos, row in enumerate(page.rows):
+        if entry_child(row) == child:
+            return pos
+    raise TreeStructureError(
+        f"page {page.page_id} has no entry for child {child}"
+    )
+
+
+def child_ids(page: Page) -> list[int]:
+    return [entry_child(row) for row in page.rows]
+
+
+def entries(page: Page) -> list[IndexEntry]:
+    return [decode_entry(row) for row in page.rows]
+
+
+def low_key(page: Page) -> bytes:
+    """A routing key for this page: its lowest resident key.
+
+    For a nonleaf page the first entry has no key, so the second entry's
+    separator is the lowest *known* key; traversal only needs a key that
+    routes to this page's range, for which any resident key works.
+    """
+    if page.page_type is PageType.LEAF:
+        return leaf_low_unit(page)
+    if page.nrows >= 2:
+        return entry_key(page.rows[1])
+    raise TreeStructureError(
+        f"nonleaf {page.page_id} has no keyed entries to route by"
+    )

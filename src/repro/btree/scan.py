@@ -1,0 +1,150 @@
+"""Index range scans (§2.5).
+
+A scan qualifies keys under an S latch, but the latch is dropped *before*
+each qualifying key is returned to the caller and re-taken to resume — the
+paper's rule that keeps scans from holding physical resources across the
+query-processing layer.  Because anything can happen while unlatched (the
+page can split, shrink, or be rebuilt away), resumption revalidates the
+page and, when it is gone or its content moved, re-positions by key with a
+fresh traversal.  This is exactly what lets scans run concurrently with an
+online rebuild: a scan standing on a leaf that gets rebuilt simply
+re-traverses to the first key after the last one it returned.
+
+Walking to the right neighbor honors the SHRINK bit: the scan blocks via an
+instant-duration S address lock and then re-positions by key, since the
+neighbor may no longer exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.btree import keys as K
+from repro.btree import node
+from repro.btree.traversal import AccessMode, Traversal
+from repro.concurrency.latch import LatchMode
+from repro.concurrency.locks import LockMode, LockSpace
+from repro.concurrency.txn import Transaction
+from repro.context import EngineContext
+from repro.errors import StorageError
+from repro.storage.page import NO_PAGE, Page, PageFlag, PageType
+
+
+def range_scan(
+    ctx: EngineContext,
+    tree: "object",
+    txn: Transaction,
+    lo_unit: bytes,
+    hi_unit: bytes,
+    lock_rows: bool = False,
+    with_payload: bool = False,
+) -> Iterator[tuple]:
+    """Yield ``(key, rowid)`` — or ``(key, rowid, payload)`` with
+    ``with_payload`` — for every unit in ``[lo_unit, hi_unit]``.
+
+    ``lock_rows`` requests an instant-duration S logical lock per qualifying
+    row (cursor-stability-style reading).
+    """
+    unit_len = tree.key_len + K.ROWID_LEN
+    traversal = Traversal(ctx, tree)
+    last_returned: bytes | None = None
+    page = traversal.traverse(lo_unit, AccessMode.READER, 0, txn)
+    pos, _found = node.leaf_search(page, lo_unit, ctx.counters)
+
+    while True:
+        # Qualify as many rows as possible under this latch hold.
+        if pos >= page.nrows:
+            page, pos = _advance_right(ctx, tree, traversal, txn, page, last_returned, lo_unit)
+            if page is None:
+                return
+            continue
+        row = page.rows[pos]
+        unit = row[:unit_len]
+        if unit > hi_unit:
+            ctx.release_page(page.page_id)
+            return
+        page_id = page.page_id
+        ctx.release_page(page_id)  # §2.5: unlatch before returning the key
+        if lock_rows:
+            ctx.locks.wait_instant(
+                txn.txn_id, LockSpace.LOGICAL, unit, LockMode.S
+            )
+        key, rowid = K.split_unit(unit)
+        if with_payload:
+            yield key, rowid, row[unit_len:]
+        else:
+            yield key, rowid
+        last_returned = unit
+
+        # Resume: revalidate the page; if it moved on, re-position by key.
+        page = _reacquire(ctx, tree, traversal, txn, page_id, last_returned)
+        pos, found = node.leaf_search(page, last_returned, ctx.counters)
+        if found:
+            pos += 1
+
+
+def _reacquire(
+    ctx: EngineContext,
+    tree: "object",
+    traversal: Traversal,
+    txn: Transaction,
+    page_id: int,
+    last_returned: bytes,
+) -> Page:
+    """Re-latch the scan's page, or re-traverse if it is no longer usable.
+
+    Usable means: still an allocated leaf of this index, not SHRINK-marked,
+    and its key range still contains the resume point (a split may have
+    moved our position to the right sibling — the side entry check in
+    traversal handles that if we re-traverse, so we only keep the page when
+    the resume unit is clearly within it).
+    """
+    if ctx.page_manager.is_allocated(page_id):
+        try:
+            page = ctx.get_latched(page_id, LatchMode.S)
+        except StorageError:
+            page = None
+        if page is not None:
+            if (
+                page.page_type is PageType.LEAF
+                and page.index_id == getattr(tree, "index_id", page.index_id)
+                and not page.has_flag(PageFlag.SHRINK)
+                and not page.is_empty
+                and page.rows[0] <= last_returned <= page.rows[-1]
+            ):
+                return page
+            ctx.release_page(page_id)
+    return traversal.traverse(last_returned, AccessMode.READER, 0, txn)
+
+
+def _advance_right(
+    ctx: EngineContext,
+    tree: "object",
+    traversal: Traversal,
+    txn: Transaction,
+    page: Page,
+    last_returned: bytes | None,
+    lo_unit: bytes,
+) -> tuple[Page | None, int]:
+    """Step to the right neighbor; returns (page, start_pos) or (None, 0).
+
+    A SHRINK-marked neighbor forces a block-and-re-traverse; the traversal
+    lands on the leaf now covering the first not-yet-returned unit.
+    """
+    next_id = page.next_page
+    ctx.release_page(page.page_id)
+    if next_id == NO_PAGE:
+        return None, 0
+    neighbor = ctx.get_latched(next_id, LatchMode.S)
+    if neighbor.has_flag(PageFlag.SHRINK):
+        ctx.release_page(next_id)
+        ctx.locks.wait_instant(
+            txn.txn_id, LockSpace.ADDRESS, next_id, LockMode.S
+        )
+        resume = last_returned if last_returned is not None else lo_unit
+        neighbor = traversal.traverse(resume, AccessMode.READER, 0, txn)
+        pos, found = node.leaf_search(neighbor, resume, ctx.counters)
+        if found and last_returned is not None:
+            pos += 1  # the resume unit was already returned
+        return neighbor, pos
+    return neighbor, 0

@@ -1,0 +1,248 @@
+"""Page shrink as a nested top action (§2.4).
+
+A leaf is shrunk when its last row is removed.  The protocol mirrors split
+with SHRINK bits — which block readers *and* writers — instead of SPLIT
+bits.  Address locks at the leaf level are acquired right-to-left (the page
+itself, then its previous page), the ordering §6.5 relies on for deadlock
+freedom.  To honor the latch discipline, the shrinker releases the leaf's
+latch (the page stays frozen under its X lock + SHRINK bit) before locking
+the previous page, then revalidates that the chain did not change around it
+— a concurrent split of the left neighbor can retarget ``prev``.
+
+Propagation deletes the page's index entry from its parent; an emptied
+parent is shrunk recursively ("there is no need to perform the deletes —
+the page can directly be deallocated", §5.3.1).  If the cascade reaches a
+root left with no children, the root is reformatted as an empty leaf — the
+root page id is stable, so the tree simply becomes empty.
+
+Per §4.1.3, pages deallocated by a shrink are freed as soon as the top
+action completes.
+"""
+
+from __future__ import annotations
+
+from repro.btree import node
+from repro.btree.split import _update_prev_link, clear_protocol_bits
+from repro.btree.traversal import AccessMode, Traversal
+from repro.concurrency.latch import LatchMode
+from repro.concurrency.locks import LockMode, LockSpace
+from repro.concurrency.syncpoints import CrashPoint
+from repro.concurrency.txn import Transaction
+from repro.context import EngineContext
+from repro.storage.page import NO_PAGE, Page, PageFlag, PageType
+from repro.wal.records import LogRecord, RecordType
+
+
+def shrink_leaf(
+    ctx: EngineContext,
+    tree: "object",
+    txn: Transaction,
+    leaf: Page,
+    routing_unit: bytes,
+    traversal: Traversal,
+) -> None:
+    """Remove the empty ``leaf`` (X latched, pinned, bit-free) from the tree.
+
+    ``routing_unit`` is the unit whose deletion emptied the page; it still
+    routes to the leaf's position at every ancestor level.
+    """
+    ctx.txns.begin_nta(txn)
+    cleanup: list[int] = []
+    deallocated: list[int] = []
+    leaf_id = leaf.page_id
+    try:
+        # Right-to-left address locking: the page itself first (§6.5).
+        ctx.locks.acquire(txn.txn_id, LockSpace.ADDRESS, leaf_id, LockMode.X)
+        cleanup.append(leaf_id)
+        leaf.set_flag(PageFlag.SHRINK)
+        old_next = leaf.next_page
+        pp_id = leaf.prev_page
+        ctx.release_page(leaf_id, dirty=True)
+        ctx.syncpoints.fire("shrink.leaf_frozen", page=leaf_id)
+
+        # Lock and unlink the previous page; it can move under us until the
+        # lock is held, so revalidate and chase.
+        pp_id = _lock_prev_page(ctx, txn, leaf_id, pp_id, cleanup)
+        if pp_id != NO_PAGE:
+            pp = ctx.get_latched(pp_id, LatchMode.X)
+            pp.set_flag(PageFlag.SHRINK)
+            ctx.log_page_change(
+                txn,
+                LogRecord(
+                    type=RecordType.CHANGENEXTLINK,
+                    old_next=leaf_id,
+                    new_next=old_next,
+                ),
+                pp,
+            )
+            pp.next_page = old_next
+            ctx.release_page(pp_id, dirty=True)
+        if old_next != NO_PAGE:
+            _update_prev_link(ctx, txn, old_next, new_prev=pp_id)
+
+        _deallocate(ctx, txn, leaf_id, deallocated)
+        _propagate_delete(
+            ctx, tree, txn, traversal, leaf_id, routing_unit,
+            cleanup, deallocated,
+        )
+    except CrashPoint:
+        raise  # simulated power failure: skip runtime cleanup
+    except BaseException:
+        _abort_shrink(ctx, txn, cleanup)
+        raise
+    ctx.txns.end_nta(txn)
+    clear_protocol_bits(ctx, txn, cleanup)
+    # §4.1.3: shrink's deallocated pages are freed at top action completion.
+    for pid in deallocated:
+        ctx.buffer.flush_page(pid)
+        ctx.page_manager.free(pid)
+    ctx.syncpoints.fire("shrink.nta_end", pages=list(cleanup))
+
+
+def _lock_prev_page(
+    ctx: EngineContext,
+    txn: Transaction,
+    leaf_id: int,
+    pp_id: int,
+    cleanup: list[int],
+) -> int:
+    """Acquire the X address lock on the true previous page of ``leaf_id``.
+
+    Chases ``prev`` retargeting by concurrent splits of the left neighbor:
+    after each (possibly blocking) lock acquisition, verify the locked page
+    still points at our leaf; otherwise release and follow the new pointer.
+    """
+    while pp_id != NO_PAGE:
+        ctx.locks.acquire(txn.txn_id, LockSpace.ADDRESS, pp_id, LockMode.X)
+        page = ctx.get_latched(pp_id, LatchMode.S)
+        valid = (
+            ctx.page_manager.is_allocated(pp_id)
+            and page.page_type is PageType.LEAF
+            and page.next_page == leaf_id
+        )
+        ctx.release_page(pp_id)
+        if valid:
+            cleanup.append(pp_id)
+            return pp_id
+        ctx.locks.release(txn.txn_id, LockSpace.ADDRESS, pp_id)
+        leaf = ctx.get_latched(leaf_id, LatchMode.S)
+        pp_id = leaf.prev_page
+        ctx.release_page(leaf_id)
+    return NO_PAGE
+
+
+def _propagate_delete(
+    ctx: EngineContext,
+    tree: "object",
+    txn: Transaction,
+    traversal: Traversal,
+    child_id: int,
+    routing_unit: bytes,
+    cleanup: list[int],
+    deallocated: list[int],
+) -> None:
+    """Delete ``child_id``'s entry at each level, shrinking emptied parents."""
+    level = 1
+    while True:
+        page = traversal.traverse(routing_unit, AccessMode.WRITER, level, txn)
+        pos = node.find_child_entry(page, child_id)
+        if page.nrows == 1:
+            # Only child: this parent empties too (§5.3.1).
+            if page.page_id == tree.root_page_id:
+                _collapse_root_to_empty_leaf(ctx, txn, page)
+                ctx.release_page(page.page_id, dirty=True)
+                return
+            ctx.locks.acquire(
+                txn.txn_id, LockSpace.ADDRESS, page.page_id, LockMode.X
+            )
+            cleanup.append(page.page_id)
+            page.set_flag(PageFlag.SHRINK)
+            page_id = page.page_id
+            ctx.release_page(page_id, dirty=True)
+            _deallocate(ctx, txn, page_id, deallocated)
+            child_id = page_id
+            level += 1
+            continue
+        if pos == 0:
+            # Deleting the first child: the next entry becomes the keyless
+            # first entry (§5's representation).
+            first_two = [page.rows[0], page.rows[1]]
+            stripped = node.strip_entry_key(page.rows[1])
+            ctx.log_page_change(
+                txn,
+                LogRecord(type=RecordType.BATCHDELETE, pos=0, rows=first_two),
+                page,
+            )
+            page.delete_rows(0, 2)
+            ctx.log_page_change(
+                txn,
+                LogRecord(type=RecordType.INSERT, pos=0, rows=[stripped]),
+                page,
+            )
+            page.insert_row(0, stripped)
+        else:
+            entry = page.rows[pos]
+            ctx.log_page_change(
+                txn,
+                LogRecord(type=RecordType.DELETE, pos=pos, rows=[entry]),
+                page,
+            )
+            page.delete_row(pos)
+        ctx.release_page(page.page_id, dirty=True)
+        ctx.syncpoints.fire(
+            "shrink.propagated", level=level, page=page.page_id
+        )
+        return
+
+
+def _collapse_root_to_empty_leaf(
+    ctx: EngineContext, txn: Transaction, root: Page
+) -> None:
+    """The last leaf shrank away: reformat the root as an empty leaf."""
+    rows = list(root.rows)
+    ctx.log_page_change(
+        txn,
+        LogRecord(type=RecordType.BATCHDELETE, pos=0, rows=rows),
+        root,
+    )
+    root.delete_rows(0, root.nrows)
+    old_format = (int(root.page_type), root.level, root.prev_page, root.next_page)
+    ctx.log_page_change(
+        txn,
+        LogRecord(
+            type=RecordType.FORMAT,
+            page_type=int(PageType.LEAF),
+            level=0,
+            prev_page=NO_PAGE,
+            next_page=NO_PAGE,
+            old_format=old_format,
+        ),
+        root,
+    )
+    root.page_type = PageType.LEAF
+    root.level = 0
+    ctx.syncpoints.fire("shrink.root_collapsed", root=root.page_id)
+
+
+def _deallocate(
+    ctx: EngineContext, txn: Transaction, page_id: int, deallocated: list[int]
+) -> None:
+    rec = LogRecord(type=RecordType.DEALLOC, page_id=page_id)
+    ctx.txns.append(txn, rec)
+    ctx.page_manager.deallocate(page_id)
+    deallocated.append(page_id)
+
+
+def _abort_shrink(ctx: EngineContext, txn: Transaction, cleanup: list[int]) -> None:
+    """Undo an incomplete shrink NTA and release its protocol state."""
+    ctx.latches.release_all()
+    ctx.txns.abort_nta(txn)
+    for page_id in list(cleanup):
+        if ctx.page_manager.is_allocated(page_id):
+            page = ctx.get_latched(page_id, LatchMode.X)
+            page.clear_flag(PageFlag.SPLIT)
+            page.clear_flag(PageFlag.SHRINK)
+            page.clear_side_entry()
+            page.clear_blocked_range()
+            ctx.release_page(page_id, dirty=True)
+        ctx.locks.release(txn.txn_id, LockSpace.ADDRESS, page_id)

@@ -1,0 +1,208 @@
+"""Tree traversal with latch crabbing and safe-page retraversal (§2.6).
+
+This is a direct implementation of the paper's pseudocode:
+
+* descend with latch coupling (S latches, X only at the target level in
+  writer mode);
+* a child with the SHRINK bit forces the traversal to release its latches,
+  wait for an instant-duration S address lock on that page (i.e. for the
+  shrinking top action to finish), and retraverse;
+* a child marked OLDPGOFSPLIT redirects through its side entry when the
+  search key moved to the new page of an in-flight split;
+* a writer reaching a target page with the SPLIT bit waits the same way.
+
+Retraversal does not restart from the root (§2.6.1): the pages seen on the
+way down are remembered, and the walk resumes from the lowest remembered
+page that is still *safe* — same level as expected and the search key
+within the range of key values on it.  A :class:`Traversal` object keeps
+its path across calls, which is how the rebuild's propagation phase avoids
+root-to-leaf walks for every batch (§5.4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.btree import node
+from repro.concurrency.latch import LatchMode
+from repro.concurrency.locks import LockMode, LockSpace
+from repro.concurrency.txn import Transaction
+from repro.context import EngineContext
+from repro.errors import StorageError, TreeStructureError
+from repro.storage.page import Page, PageFlag, PageType
+
+
+class AccessMode(enum.Enum):
+    READER = "reader"
+    WRITER = "writer"
+
+
+class Traversal:
+    """A reusable traversal with remembered-path retraversal."""
+
+    def __init__(self, ctx: EngineContext, tree: "object") -> None:
+        """``tree`` supplies ``root_page_id`` and ``index_id`` attributes
+        (kept live so a root level change is always observed)."""
+        self.ctx = ctx
+        self.tree = tree
+        self._path: list[tuple[int, int]] = []  # (page_id, level), root first
+
+    # ------------------------------------------------------------------ drive
+
+    def traverse(
+        self,
+        unit: bytes,
+        mode: AccessMode,
+        target_level: int,
+        txn: Transaction,
+    ) -> Page:
+        """Return the target-level page covering ``unit``, latched and pinned.
+
+        Writer mode returns the page X latched and guarantees it carries
+        neither SPLIT nor SHRINK bit; reader mode returns it S latched.
+        """
+        ctx = self.ctx
+        ctx.counters.add("traversals")
+        first_attempt = True
+        while True:
+            if not first_attempt:
+                ctx.counters.add("retraversals")
+            first_attempt = False
+
+            p = self._start_page(unit, target_level, mode)
+            new_path: list[tuple[int, int]] = []
+            restart = False
+
+            while p.level > target_level:
+                new_path.append((p.page_id, p.level))
+                child_level = p.level - 1
+                child_mode = (
+                    LatchMode.X
+                    if child_level == target_level and mode is AccessMode.WRITER
+                    else LatchMode.S
+                )
+                _pos, child_id = node.child_search(p, unit, ctx.counters)
+                c = ctx.get_latched(child_id, child_mode)
+
+                resolved, blocked_id = self._resolve_child(
+                    c, unit, child_mode, txn
+                )
+                if resolved is None:
+                    # SHRINK in the way: release everything and block for
+                    # the top action via an instant S address lock (§2.6).
+                    ctx.release_page(p.page_id)
+                    assert blocked_id is not None
+                    ctx.locks.wait_instant(
+                        txn.txn_id, LockSpace.ADDRESS, blocked_id, LockMode.S
+                    )
+                    restart = True
+                    break
+                ctx.release_page(p.page_id)
+                p = resolved
+
+            if restart:
+                continue
+
+            # Target level reached.  A bit set by *our own* transaction's
+            # in-flight top action (e.g. the root during a root grow) never
+            # blocks us — we hold its X address lock.
+            if (
+                mode is AccessMode.WRITER
+                and (p.has_flag(PageFlag.SPLIT) or p.has_flag(PageFlag.SHRINK))
+                and not ctx.locks.holds(
+                    txn.txn_id, LockSpace.ADDRESS, p.page_id, LockMode.X
+                )
+            ):
+                page_id = p.page_id
+                ctx.release_page(page_id)
+                ctx.locks.wait_instant(
+                    txn.txn_id, LockSpace.ADDRESS, page_id, LockMode.S
+                )
+                continue
+
+            self._path = new_path
+            return p
+
+    # ---------------------------------------------------- child resolution
+
+    def _resolve_child(
+        self, c: Page, unit: bytes, child_mode: LatchMode, txn: Transaction
+    ) -> tuple[Page | None, int | None]:
+        """Apply the SHRINK / OLDPGOFSPLIT checks to a just-latched child.
+
+        Returns ``(resolved_page, None)`` on success — possibly a sibling
+        reached through a side entry — or ``(None, blocked_page_id)`` when a
+        SHRINK bit requires the caller to release its latches and block.
+        A SHRINK bit owned by our own transaction's top action is ignored.
+        """
+        ctx = self.ctx
+        while True:
+            if c.blocks_unit(unit) and not ctx.locks.holds(
+                txn.txn_id, LockSpace.ADDRESS, c.page_id, LockMode.X
+            ):
+                blocked = c.page_id
+                ctx.release_page(c.page_id)
+                return None, blocked
+            if c.has_flag(PageFlag.OLDPGOFSPLIT) and unit >= c.side_key:
+                sibling_id = c.side_page
+                sibling = ctx.get_latched(sibling_id, child_mode)
+                ctx.release_page(c.page_id)
+                c = sibling
+                continue
+            return c, None
+
+    # ------------------------------------------------------------ safe start
+
+    def _start_page(
+        self, unit: bytes, target_level: int, mode: AccessMode
+    ) -> Page:
+        """Latch the lowest safe remembered page, else the root (§2.6.1)."""
+        for page_id, level in reversed(self._path):
+            if level <= target_level:
+                continue
+            page = self._try_safe(page_id, level, unit)
+            if page is not None:
+                return page
+        return self._latch_root(target_level, mode)
+
+    def _try_safe(self, page_id: int, level: int, unit: bytes) -> Page | None:
+        """Latch and validate a remembered page; None if no longer safe."""
+        ctx = self.ctx
+        if not ctx.page_manager.is_allocated(page_id):
+            return None
+        try:
+            page = ctx.get_latched(page_id, LatchMode.S)
+        except StorageError:
+            return None
+        if (
+            page.page_type is PageType.NONLEAF
+            and page.level == level
+            and page.index_id == getattr(self.tree, "index_id", page.index_id)
+            and not page.has_flag(PageFlag.SHRINK)
+            and page.nrows >= 2
+            and node.entry_key(page.rows[1]) <= unit <= node.entry_key(page.rows[-1])
+        ):
+            return page
+        ctx.release_page(page_id)
+        return None
+
+    def _latch_root(self, target_level: int, mode: AccessMode) -> Page:
+        """Latch the root, upgrading to X when the root is the writer target."""
+        ctx = self.ctx
+        root_id = self.tree.root_page_id
+        while True:
+            page = ctx.get_latched(root_id, LatchMode.S)
+            if page.level == target_level and mode is AccessMode.WRITER:
+                ctx.release_page(root_id)
+                page = ctx.get_latched(root_id, LatchMode.X)
+                if page.level != target_level:
+                    # Root grew between the relatch; S is enough again.
+                    ctx.release_page(root_id)
+                    continue
+            if page.level < target_level:
+                ctx.release_page(root_id)
+                raise TreeStructureError(
+                    f"target level {target_level} is above the root "
+                    f"(level {page.level})"
+                )
+            return page

@@ -1,0 +1,231 @@
+"""Structural invariant checker for the B+-tree.
+
+Called by tests after every interesting operation and by the property-based
+suite after random operation sequences.  Checks the invariants DESIGN.md
+lists:
+
+1.  every nonleaf page's first entry has an empty separator; later
+    separators are strictly increasing;
+2.  each child's subtree keys fall in the half-open range its separators
+    define (``Ki <= keys(Ci) < Ki+1``);
+3.  levels decrease by exactly one per step and all leaves sit at level 0;
+4.  the doubly linked leaf chain, walked by ``next`` pointers, visits
+    exactly the leaves the tree structure reaches, in key order, with
+    mutually consistent ``prev`` pointers;
+5.  all leaf units across the chain are strictly increasing;
+6.  every reachable page is in ALLOCATED state, belongs to this index, and
+    (in a quiesced tree) carries no protocol bits.
+
+The checker acquires no latches: callers run it on a quiesced engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.btree import node
+from repro.context import EngineContext
+from repro.errors import TreeStructureError
+from repro.storage.page import NO_PAGE, Page, PageFlag, PageType
+from repro.storage.page_manager import PageState
+
+
+@dataclass
+class TreeStats:
+    """Summary produced by a successful verification."""
+
+    height: int = 0
+    leaf_pages: int = 0
+    nonleaf_pages: int = 0
+    level1_pages: int = 0
+    rows: int = 0
+    leaf_fill: float = 0.0
+    level1_fill: float = 0.0
+    leaf_page_ids: list[int] = field(default_factory=list)
+
+
+def verify_tree(ctx: EngineContext, tree: "object") -> TreeStats:
+    """Validate every invariant; raises TreeStructureError on violation."""
+    stats = TreeStats()
+    root = _fetch(ctx, tree, tree.root_page_id)
+    stats.height = root.level + 1
+    structure_leaves: list[int] = []
+    _check_subtree(
+        ctx, tree, root, low=None, high=None, leaves=structure_leaves,
+        stats=stats,
+    )
+    _check_chain(ctx, tree, structure_leaves, stats)
+    stats.leaf_pages = len(structure_leaves)
+    stats.leaf_page_ids = structure_leaves
+    if stats.leaf_pages:
+        stats.leaf_fill /= stats.leaf_pages
+    if stats.level1_pages:
+        stats.level1_fill /= stats.level1_pages
+    return stats
+
+
+def _fetch(ctx: EngineContext, tree: "object", page_id: int) -> Page:
+    if ctx.page_manager.state(page_id) is not PageState.ALLOCATED:
+        raise TreeStructureError(
+            f"page {page_id} reachable from the tree is "
+            f"{ctx.page_manager.state(page_id).value}"
+        )
+    page = ctx.buffer.fetch(page_id)
+    ctx.buffer.unpin(page_id)
+    if page.index_id != tree.index_id:
+        raise TreeStructureError(
+            f"page {page_id} belongs to index {page.index_id}, "
+            f"expected {tree.index_id}"
+        )
+    if page.flags != PageFlag.NONE:
+        raise TreeStructureError(
+            f"page {page_id} carries protocol bits {page.flags!r} "
+            "in a quiesced tree"
+        )
+    return page
+
+
+def _check_subtree(
+    ctx: EngineContext,
+    tree: "object",
+    page: Page,
+    low: bytes | None,
+    high: bytes | None,
+    leaves: list[int],
+    stats: TreeStats,
+) -> None:
+    """Recursively check ``page`` covering keys in ``[low, high)``."""
+    if page.page_type is PageType.LEAF:
+        if page.level != 0:
+            raise TreeStructureError(
+                f"leaf {page.page_id} has level {page.level}"
+            )
+        _check_leaf_rows(page, low, high)
+        leaves.append(page.page_id)
+        stats.rows += page.nrows
+        stats.leaf_fill += page.fill_fraction()
+        return
+
+    if page.nrows == 0:
+        raise TreeStructureError(f"nonleaf {page.page_id} has no entries")
+    entries = node.entries(page)
+    if entries[0].key != b"":
+        raise TreeStructureError(
+            f"nonleaf {page.page_id}: first entry has separator "
+            f"{entries[0].key!r}, expected empty"
+        )
+    for a, b in zip(entries[1:], entries[2:]):
+        if not a.key < b.key:
+            raise TreeStructureError(
+                f"nonleaf {page.page_id}: separators not increasing "
+                f"({a.key!r} !< {b.key!r})"
+            )
+    if len(entries) >= 2 and low is not None and entries[1].key <= low:
+        raise TreeStructureError(
+            f"nonleaf {page.page_id}: separator {entries[1].key!r} is not "
+            f"above the subtree low bound {low!r}"
+        )
+    stats.nonleaf_pages += 1
+    if page.level == 1:
+        stats.level1_pages += 1
+        stats.level1_fill += page.fill_fraction()
+
+    for i, entry in enumerate(entries):
+        child = _fetch(ctx, tree, entry.child)
+        if child.level != page.level - 1:
+            raise TreeStructureError(
+                f"child {entry.child} of {page.page_id} has level "
+                f"{child.level}, expected {page.level - 1}"
+            )
+        child_low = low if i == 0 else entry.key
+        child_high = entries[i + 1].key if i + 1 < len(entries) else high
+        _check_subtree(ctx, tree, child, child_low, child_high, leaves, stats)
+
+
+def _check_leaf_rows(page: Page, low: bytes | None, high: bytes | None) -> None:
+    prev: bytes | None = None
+    for unit in page.rows:
+        if prev is not None and not prev < unit:
+            raise TreeStructureError(
+                f"leaf {page.page_id}: units not strictly increasing"
+            )
+        if low is not None and unit < low:
+            raise TreeStructureError(
+                f"leaf {page.page_id}: unit below subtree bound {low!r}"
+            )
+        if high is not None and unit >= high:
+            raise TreeStructureError(
+                f"leaf {page.page_id}: unit at/above subtree bound {high!r}"
+            )
+        prev = unit
+
+
+def _check_chain(
+    ctx: EngineContext,
+    tree: "object",
+    structure_leaves: list[int],
+    stats: TreeStats,
+) -> None:
+    """The next/prev chain must visit exactly the structural leaves in order."""
+    if not structure_leaves:
+        return
+    chain: list[int] = []
+    prev_id = NO_PAGE
+    page_id = structure_leaves[0]
+    last_unit: bytes | None = None
+    while page_id != NO_PAGE:
+        page = _fetch(ctx, tree, page_id)
+        if page.page_type is not PageType.LEAF:
+            raise TreeStructureError(
+                f"chain page {page_id} is {page.page_type.name}, not a leaf"
+            )
+        if page.prev_page != prev_id:
+            raise TreeStructureError(
+                f"leaf {page_id}: prev is {page.prev_page}, expected {prev_id}"
+            )
+        if page.nrows:
+            if last_unit is not None and not last_unit < page.rows[0]:
+                raise TreeStructureError(
+                    f"leaf {page_id}: first unit not above the previous "
+                    "leaf's last unit"
+                )
+            last_unit = page.rows[-1]
+        chain.append(page_id)
+        prev_id = page_id
+        page_id = page.next_page
+    if chain != structure_leaves:
+        raise TreeStructureError(
+            f"leaf chain {chain} differs from tree-structure leaves "
+            f"{structure_leaves}"
+        )
+    first = _fetch(ctx, tree, structure_leaves[0])
+    if first.prev_page != NO_PAGE:
+        raise TreeStructureError(
+            f"first leaf {first.page_id} has prev {first.prev_page}"
+        )
+
+
+def collect_contents(ctx: EngineContext, tree: "object") -> list[bytes]:
+    """Every leaf unit in chain order (the tree's logical contents)."""
+    units: list[bytes] = []
+    page_id = leftmost_leaf(ctx, tree)
+    while page_id != NO_PAGE:
+        page = ctx.buffer.fetch(page_id)
+        units.extend(page.rows)
+        next_id = page.next_page
+        ctx.buffer.unpin(page_id)
+        page_id = next_id
+    return units
+
+
+def leftmost_leaf(ctx: EngineContext, tree: "object") -> int:
+    """Descend first children from the root to the leftmost leaf."""
+    page_id = tree.root_page_id
+    while True:
+        page = ctx.buffer.fetch(page_id)
+        try:
+            if page.page_type is PageType.LEAF:
+                return page_id
+            page_id = node.entry_child(page.rows[0])
+        finally:
+            ctx.buffer.unpin(page.page_id)

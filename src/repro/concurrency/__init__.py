@@ -1,0 +1,20 @@
+"""Concurrency substrate: latches, locks, transactions, syncpoints."""
+
+from repro.concurrency.latch import LatchManager, LatchMode
+from repro.concurrency.locks import LockManager, LockMode, LockSpace
+from repro.concurrency.syncpoints import CrashPoint, Rendezvous, SyncPoints
+from repro.concurrency.txn import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "CrashPoint",
+    "LatchManager",
+    "LatchMode",
+    "LockManager",
+    "LockMode",
+    "LockSpace",
+    "Rendezvous",
+    "SyncPoints",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+]

@@ -1,0 +1,155 @@
+"""Page latches (§2): short-duration S/X physical-consistency locks.
+
+A latch protects the in-memory page image while a thread reads or mutates
+it.  The engine follows the paper's discipline — latches are requested top
+down and left to right, held only across a page visit, and never held while
+waiting for an unconditional lock — so latch deadlock is impossible.  A
+watchdog timeout converts any protocol bug into a loud
+:class:`~repro.errors.LockTimeoutError` instead of a hang.
+
+Latches are keyed by page id and owned by threads (not transactions); the
+manager tracks per-thread holdings so tests can assert the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+
+from repro.errors import LatchError, LockTimeoutError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+
+
+class LatchMode(enum.Enum):
+    S = "S"
+    X = "X"
+
+
+class _Latch:
+    """State of one page's latch."""
+
+    __slots__ = ("s_holders", "x_holder", "waiters")
+
+    def __init__(self) -> None:
+        self.s_holders: set[int] = set()   # thread idents
+        self.x_holder: int | None = None
+        self.waiters = 0
+
+
+class LatchManager:
+    """S/X latches keyed by page id."""
+
+    def __init__(
+        self,
+        counters: Counters | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.timeout = timeout
+        self._latches: dict[int, _Latch] = defaultdict(_Latch)
+        self._cond = threading.Condition()
+        self._held: dict[int, dict[int, LatchMode]] = defaultdict(dict)
+        # thread ident -> {page_id: mode}
+
+    # ---------------------------------------------------------------- acquire
+
+    def acquire(self, page_id: int, mode: LatchMode) -> None:
+        """Block until the latch is granted (watchdog-bounded)."""
+        me = threading.get_ident()
+        self.counters.add("latch_acquires")
+        with self._cond:
+            if page_id in self._held[me]:
+                raise LatchError(
+                    f"thread already holds latch on page {page_id}; "
+                    "latches are not re-entrant"
+                )
+            latch = self._latches[page_id]
+            if not self._grantable(latch, mode):
+                self.counters.add("latch_waits")
+                latch.waiters += 1
+                try:
+                    deadline = threading.TIMEOUT_MAX
+                    waited = 0.0
+                    while not self._grantable(latch, mode):
+                        if not self._cond.wait(timeout=self.timeout):
+                            raise LockTimeoutError(
+                                f"latch wait on page {page_id} ({mode.value}) "
+                                f"exceeded {self.timeout}s watchdog"
+                            )
+                        waited += self.timeout
+                        if waited > deadline:  # pragma: no cover
+                            break
+                finally:
+                    latch.waiters -= 1
+            self._grant(latch, page_id, mode, me)
+
+    def try_acquire(self, page_id: int, mode: LatchMode) -> bool:
+        """Conditional acquire; never blocks."""
+        me = threading.get_ident()
+        self.counters.add("latch_acquires")
+        with self._cond:
+            if page_id in self._held[me]:
+                raise LatchError(
+                    f"thread already holds latch on page {page_id}"
+                )
+            latch = self._latches[page_id]
+            if not self._grantable(latch, mode):
+                return False
+            self._grant(latch, page_id, mode, me)
+            return True
+
+    def release(self, page_id: int) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            mode = self._held[me].pop(page_id, None)
+            if mode is None:
+                raise LatchError(
+                    f"thread does not hold a latch on page {page_id}"
+                )
+            latch = self._latches[page_id]
+            if mode is LatchMode.X:
+                latch.x_holder = None
+            else:
+                latch.s_holders.discard(me)
+            if not latch.s_holders and latch.x_holder is None:
+                if latch.waiters == 0:
+                    del self._latches[page_id]
+            self._cond.notify_all()
+
+    def release_all(self) -> None:
+        """Release every latch the calling thread holds (error recovery)."""
+        me = threading.get_ident()
+        with self._cond:
+            pages = list(self._held[me])
+        for page_id in pages:
+            self.release(page_id)
+
+    # ------------------------------------------------------------- inspection
+
+    def held_by_me(self) -> dict[int, LatchMode]:
+        return dict(self._held[threading.get_ident()])
+
+    def holds(self, page_id: int, mode: LatchMode | None = None) -> bool:
+        held = self._held[threading.get_ident()].get(page_id)
+        if held is None:
+            return False
+        return mode is None or held is mode
+
+    # -------------------------------------------------------------- internals
+
+    def _grantable(self, latch: _Latch, mode: LatchMode) -> bool:
+        if latch.x_holder is not None:
+            return False
+        if mode is LatchMode.X:
+            return not latch.s_holders
+        return True
+
+    def _grant(
+        self, latch: _Latch, page_id: int, mode: LatchMode, me: int
+    ) -> None:
+        if mode is LatchMode.X:
+            latch.x_holder = me
+        else:
+            latch.s_holders.add(me)
+        self._held[me][page_id] = mode

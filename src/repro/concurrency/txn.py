@@ -1,0 +1,205 @@
+"""Transactions and nested top actions (§2, §3).
+
+Split, shrink, and each multipage rebuild step run as *nested top actions*
+(NTAs): once complete they are never undone, even if the enclosing
+transaction rolls back.  The classic ARIES dummy-CLR trick implements this —
+``NTA_END``'s ``undo_next_lsn`` points at the record *before* ``NTA_BEGIN``,
+so rollback and crash-undo hop over the completed action.
+
+Rollback applies inverse operations through an injected *undo applier* (the
+shared physical undo code in :mod:`repro.wal.apply`), writing a CLR per
+undone record so that undo itself is idempotent across crashes.
+
+Commit forces the log (WAL), runs registered commit hooks — the rebuild uses
+one to free the old pages it deallocated (§3) — and releases the
+transaction's logical locks.  Address locks are released by the operations
+themselves at top-action end.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Callable
+
+from repro.errors import TransactionError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord, RecordType
+
+UndoApplier = Callable[[LogRecord, int], None]
+"""Applies the inverse of a record; receives (record, clr_lsn) where
+``clr_lsn`` is the LSN of the compensation record written for this undo —
+the applier stamps modified pages with it so crash-redo of the CLR is
+correctly skipped."""
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction's log chain, NTA stack, and lifecycle hooks."""
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.last_lsn = 0
+        self.begin_lsn = 0
+        self._nta_stack: list[int] = []
+        self.commit_hooks: list[Callable[[], None]] = []
+        self.abort_hooks: list[Callable[[], None]] = []
+
+    @property
+    def in_nta(self) -> bool:
+        return bool(self._nta_stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Txn {self.txn_id} {self.state.value} last_lsn={self.last_lsn}>"
+
+
+class TransactionManager:
+    """Begins, logs for, commits, and rolls back transactions."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        counters: Counters | None = None,
+    ) -> None:
+        self.log = log
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self.active: dict[int, Transaction] = {}
+        self._undo_applier: UndoApplier | None = None
+        self.lock_manager: object | None = None
+        """When set (by the engine), commit/abort release every lock the
+        transaction still holds — logical locks live to transaction end."""
+
+    def set_undo_applier(self, applier: UndoApplier) -> None:
+        """Install the physical undo function (from :mod:`repro.wal.apply`)."""
+        self._undo_applier = applier
+
+    # -------------------------------------------------------------- lifecycle
+
+    def begin(self) -> Transaction:
+        with self._lock:
+            txn = Transaction(next(self._ids))
+            self.active[txn.txn_id] = txn
+        rec = LogRecord(type=RecordType.TXN_BEGIN, txn_id=txn.txn_id)
+        txn.begin_lsn = self.append(txn, rec)
+        return txn
+
+    def append(self, txn: Transaction, record: LogRecord) -> int:
+        """Log a record on behalf of ``txn``, maintaining the prev chain."""
+        self._check_active(txn)
+        record.txn_id = txn.txn_id
+        record.prev_lsn = txn.last_lsn
+        lsn = self.log.append(record)
+        txn.last_lsn = lsn
+        return lsn
+
+    def commit(self, txn: Transaction) -> None:
+        self._check_active(txn)
+        lsn = self.append(txn, LogRecord(type=RecordType.TXN_COMMIT))
+        self.log.flush_to(lsn)
+        txn.state = TxnState.COMMITTED
+        with self._lock:
+            self.active.pop(txn.txn_id, None)
+        self._release_locks(txn)
+        for hook in txn.commit_hooks:
+            hook()
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll the transaction back completely and release it."""
+        self._check_active(txn)
+        self.rollback_to(txn, 0)
+        lsn = self.append(txn, LogRecord(type=RecordType.TXN_ABORT))
+        self.log.flush_to(lsn)
+        txn.state = TxnState.ABORTED
+        with self._lock:
+            self.active.pop(txn.txn_id, None)
+        self._release_locks(txn)
+        for hook in txn.abort_hooks:
+            hook()
+
+    # --------------------------------------------------------------- top actions
+
+    def begin_nta(self, txn: Transaction) -> None:
+        """Open a nested top action; the undo point is the current last LSN."""
+        self._check_active(txn)
+        txn._nta_stack.append(txn.last_lsn)
+        self.append(txn, LogRecord(type=RecordType.NTA_BEGIN))
+
+    def end_nta(self, txn: Transaction) -> int:
+        """Close the innermost NTA with a dummy CLR over its records."""
+        self._check_active(txn)
+        if not txn._nta_stack:
+            raise TransactionError(
+                f"txn {txn.txn_id} has no open nested top action"
+            )
+        undo_point = txn._nta_stack.pop()
+        rec = LogRecord(type=RecordType.NTA_END, undo_next_lsn=undo_point)
+        return self.append(txn, rec)
+
+    def abort_nta(self, txn: Transaction) -> None:
+        """Undo the innermost (incomplete) NTA's records."""
+        self._check_active(txn)
+        if not txn._nta_stack:
+            raise TransactionError(
+                f"txn {txn.txn_id} has no open nested top action"
+            )
+        undo_point = txn._nta_stack.pop()
+        self.rollback_to(txn, undo_point)
+
+    # ---------------------------------------------------------------- rollback
+
+    def rollback_to(self, txn: Transaction, target_lsn: int) -> None:
+        """Undo the transaction's records back to (excluding) ``target_lsn``.
+
+        Completed NTAs are hopped over via their dummy CLR; CLRs themselves
+        are never undone (their ``undo_next_lsn`` continues the walk); each
+        undone record gets a compensation record so a crash mid-rollback
+        resumes instead of double-undoing.
+        """
+        if self._undo_applier is None:
+            raise TransactionError("no undo applier installed")
+        lsn = txn.last_lsn
+        while lsn > target_lsn:
+            rec = self.log.record_at(lsn)
+            if rec.type in (RecordType.NTA_END, RecordType.CLR):
+                lsn = rec.undo_next_lsn
+                continue
+            if rec.type in (
+                RecordType.TXN_BEGIN,
+                RecordType.TXN_COMMIT,
+                RecordType.TXN_ABORT,
+                RecordType.NTA_BEGIN,
+                RecordType.CHECKPOINT,
+            ):
+                lsn = rec.prev_lsn
+                continue
+            clr = LogRecord(
+                type=RecordType.CLR,
+                page_id=rec.page_id,
+                undone_lsn=rec.lsn,
+                undo_next_lsn=rec.prev_lsn,
+            )
+            clr_lsn = self.append(txn, clr)
+            self._undo_applier(rec, clr_lsn)
+            lsn = rec.prev_lsn
+
+    # -------------------------------------------------------------- internals
+
+    def _release_locks(self, txn: Transaction) -> None:
+        if self.lock_manager is not None:
+            self.lock_manager.release_all(txn.txn_id)  # type: ignore[attr-defined]
+
+    def _check_active(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"txn {txn.txn_id} is {txn.state.value}, not active"
+            )

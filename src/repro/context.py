@@ -1,0 +1,160 @@
+"""The engine context: every subsystem handle, plus page-access discipline.
+
+One :class:`EngineContext` bundles the storage, WAL, and concurrency
+substrates that the B+-tree and the online rebuild operate through.  It also
+centralizes the latch+pin pairing rule: a thread may only read or mutate a
+:class:`~repro.storage.page.Page` object between :meth:`get_latched` and
+:meth:`release_page` for that page (the latch gives physical consistency,
+the pin keeps the buffer frame — and thus the shared page object — from
+being evicted mid-use).
+
+:meth:`log_page_change` is the WAL discipline in one place: stamp the
+record with the page's pre-change timestamp, append, advance the page
+timestamp to the record's LSN, and mark the frame dirty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concurrency.latch import LatchManager, LatchMode
+from repro.concurrency.locks import LockManager
+from repro.concurrency.syncpoints import SyncPoints
+from repro.concurrency.txn import Transaction, TransactionManager
+from repro.stats.counters import Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page
+from repro.storage.page_manager import PageManager
+from repro.wal.apply import ApplyContext, undo_record
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class EngineContext:
+    """All subsystem handles an index operation needs."""
+
+    page_size: int
+    disk: Disk
+    buffer: BufferPool
+    page_manager: PageManager
+    log: LogManager
+    latches: LatchManager
+    locks: LockManager
+    txns: TransactionManager
+    counters: Counters
+    syncpoints: SyncPoints
+    index_roots: dict[int, int]
+    """Index id -> root page id; shared with the undo applier so leaf-level
+    records can be undone logically (see :mod:`repro.wal.apply`)."""
+
+    @classmethod
+    def create(
+        cls,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        io_size: int | None = None,
+        buffer_capacity: int = 4096,
+        counters: Counters | None = None,
+        lock_timeout: float = 30.0,
+        storage_dir: str | None = None,
+    ) -> "EngineContext":
+        """Wire up a fresh engine: disk, pool, log, locks, transactions.
+
+        With ``storage_dir`` the page store and the durable log prefix are
+        backed by real files (``data.pages`` / ``wal.log``) in that
+        directory, so the database survives process restarts — reattach
+        with :meth:`repro.engine.Engine.open`.
+        """
+        counters = counters if counters is not None else Counters()
+        if storage_dir is not None:
+            import os
+
+            from repro.storage.file_disk import FileDisk
+            from repro.wal.file_log import FileLogManager
+
+            os.makedirs(storage_dir, exist_ok=True)
+            disk = FileDisk(
+                os.path.join(storage_dir, "data.pages"),
+                page_size=page_size,
+                io_size=io_size,
+                counters=counters,
+            )
+            log: LogManager = FileLogManager(
+                os.path.join(storage_dir, "wal.log"), counters=counters
+            )
+        else:
+            disk = Disk(
+                page_size=page_size, io_size=io_size, counters=counters
+            )
+            log = LogManager(counters=counters)
+        buffer = BufferPool(disk, capacity=buffer_capacity, counters=counters)
+        page_manager = PageManager(disk, counters=counters)
+        buffer.set_wal_hook(log.flush_to)
+        latches = LatchManager(counters=counters, timeout=lock_timeout)
+        locks = LockManager(counters=counters, timeout=lock_timeout)
+        txns = TransactionManager(log, counters=counters)
+        index_roots: dict[int, int] = {}
+        ctx = cls(
+            page_size=page_size,
+            disk=disk,
+            buffer=buffer,
+            page_manager=page_manager,
+            log=log,
+            latches=latches,
+            locks=locks,
+            txns=txns,
+            counters=counters,
+            syncpoints=SyncPoints(),
+            index_roots=index_roots,
+        )
+        txns.set_undo_applier(
+            lambda rec, clr_lsn: undo_record(
+                rec,
+                ApplyContext(buffer, page_manager, index_roots),
+                clr_lsn,
+            )
+        )
+        txns.lock_manager = locks
+        return ctx
+
+    # ------------------------------------------------------------ page access
+
+    def get_latched(
+        self, page_id: int, mode: LatchMode, large_io: bool = False
+    ) -> Page:
+        """Latch then pin a page; the pair is released by :meth:`release_page`."""
+        self.latches.acquire(page_id, mode)
+        try:
+            page = self.buffer.fetch(page_id, large_io=large_io)
+        except Exception:
+            self.latches.release(page_id)
+            raise
+        self.counters.add("pages_visited")
+        if page.level == 1:
+            self.counters.add("level1_visits")
+        return page
+
+    def release_page(self, page_id: int, dirty: bool = False) -> None:
+        """Unpin and unlatch (inverse of :meth:`get_latched`)."""
+        self.buffer.unpin(page_id, dirty=dirty)
+        self.latches.release(page_id)
+
+    def relatch(self, page_id: int, mode: LatchMode) -> Page:
+        """Drop and re-take the latch in a different mode (not atomic)."""
+        self.release_page(page_id)
+        return self.get_latched(page_id, mode)
+
+    # ---------------------------------------------------------------- logging
+
+    def log_page_change(
+        self, txn: Transaction, record: LogRecord, page: Page
+    ) -> int:
+        """WAL a change to ``page``: stamp old ts, append, advance page ts."""
+        record.page_id = page.page_id
+        record.index_id = page.index_id
+        record.old_ts = page.page_lsn
+        lsn = self.txns.append(txn, record)
+        page.page_lsn = lsn
+        self.buffer.mark_dirty(page.page_id)
+        return lsn

@@ -1,0 +1,17 @@
+"""The paper's contribution: online index rebuild and its baselines."""
+
+from repro.core.config import RebuildConfig
+from repro.core.offline import OfflineReport, offline_rebuild, table_lock_resource
+from repro.core.propagation import PropagationEntry, PropOp
+from repro.core.rebuild import OnlineRebuild, RebuildReport
+
+__all__ = [
+    "OfflineReport",
+    "OnlineRebuild",
+    "PropOp",
+    "PropagationEntry",
+    "RebuildConfig",
+    "RebuildReport",
+    "offline_rebuild",
+    "table_lock_resource",
+]

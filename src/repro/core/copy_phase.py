@@ -1,0 +1,605 @@
+"""Copy phase of the multipage rebuild top action (§4.1).
+
+One top action rebuilds up to ``ntasize`` contiguous leaves P1..Pn:
+
+1. **Locking** (§4.1.1, §6.5): X address locks and SHRINK bits go on PP
+   (P1's previous page), then P1..Pn left to right.  If PP or P1 is busy
+   the rebuild releases everything it holds, blocks via an instant S lock,
+   and retries; if a later Pi is busy the top action simply stops at Pi-1
+   ("rebuild does not wait").  Each lock is taken *conditionally under the
+   page's X latch* and the bit is set before the latch drops, preserving
+   the §6.5 invariant that a latched page is locked iff it is bitted —
+   which is what keeps latch-holders and lock-holders from deadlocking.
+   With ``split_then_shrink`` (§6.2) the old leaves carry SPLIT bits during
+   the copy — readers still allowed — and are flipped to SHRINK just
+   before the chain is relinked.
+
+2. **Copying**: the keys move to PP (up to the fillfactor) and to freshly
+   allocated pages from the contiguous chunk cursor, each filled to the
+   fillfactor.  A *single keycopy log record* captures all the copying as
+   ``[src page, tgt page, first pos, last pos]`` extents — no key bytes
+   (§4.1.2); redo re-reads the sources, which §3's flush-new-before-free-
+   old ordering keeps intact.
+
+3. **Relinking + deallocation**: PP.next jumps to the first new page, NP's
+   prev is repointed (its own changeprevlink record, footnote-3 latch
+   rule), and the old pages are deallocated — to be *freed* only when the
+   enclosing transaction commits (§4.1.3).
+
+The per-source bookkeeping yields the §5.2 propagation entries: a source
+whose keys forced ``k > 0`` new allocations passes UPDATE plus ``k-1``
+INSERTs (entry keys are suffix-compressed separators against the previous
+target's last unit); a source fully absorbed by existing targets passes
+DELETE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.btree import keys as K
+from repro.btree.split import _update_prev_link
+from repro.concurrency.latch import LatchMode
+from repro.concurrency.locks import LockMode, LockSpace
+from repro.concurrency.txn import Transaction
+from repro.context import EngineContext
+from repro.core.config import RebuildConfig
+from repro.core.propagation import PropagationEntry, PropOp
+from repro.errors import RebuildError
+from repro.storage.page import (
+    HEADER_SIZE,
+    NO_PAGE,
+    Page,
+    PageFlag,
+    PageType,
+    SLOT_OVERHEAD,
+)
+from repro.storage.page_manager import ChunkAllocator
+from repro.wal.records import ChainLink, KeyCopyEntry, LogRecord, RecordType
+
+
+@dataclass
+class CopyResult:
+    """Everything the propagation phase and the driver need."""
+
+    prop_entries: list[PropagationEntry]
+    new_pages: list[int]
+    old_pages: list[int]
+    pp_page: int                 # NO_PAGE when P1 was the leftmost leaf
+    pp_low_unit: bytes | None
+    last_target: int             # rightmost page holding copied keys
+    resume_unit: bytes           # highest unit copied so far
+    reached_end: bool            # Pn was the last leaf of the index
+
+
+class PositionLost(RebuildError):
+    """The starting leaf vanished while we were acquiring locks.
+
+    The driver re-discovers its position from ``resume_unit`` and retries.
+    """
+
+
+# ---------------------------------------------------------------- planning
+
+
+@dataclass
+class _TargetPlan:
+    """Planned content of one copy target (-1 ordinal means PP)."""
+
+    ordinal: int
+    units: list[bytes] = field(default_factory=list)
+    extents: list[KeyCopyEntry] = field(default_factory=list)
+
+
+def plan_copy(
+    sources: list[tuple[int, list[bytes]]],
+    pp_free_budget: int,
+    capacity: int,
+    fillfactor: float,
+) -> tuple[list[_TargetPlan], dict[int, list[int]]]:
+    """Distribute source units over PP and new pages.
+
+    Returns the target plans (PP first, if it receives anything) and, per
+    source page id, the ordinals of new pages allocated while copying it —
+    the §5.2 propagation-entry rule's input.  ``pp_free_budget`` is how
+    many more row bytes PP may take (0 when there is no PP).
+    """
+    budget = max(1, int(fillfactor * capacity))
+    targets: list[_TargetPlan] = []
+    allocs_per_source: dict[int, list[int]] = {}
+    free = 0
+    if pp_free_budget > 0:
+        targets.append(_TargetPlan(ordinal=-1))
+        free = pp_free_budget
+    next_ordinal = 0
+
+    for src_id, rows in sources:
+        if not rows:
+            raise RebuildError(
+                f"leaf {src_id} is empty; empty leaves are shrunk, not "
+                "rebuilt"
+            )
+        allocs_per_source[src_id] = []
+        run_start: int | None = None
+        for pos, unit in enumerate(rows):
+            cost = SLOT_OVERHEAD + len(unit)
+            if not targets or cost > free:
+                if run_start is not None:
+                    targets[-1].extents.append(
+                        KeyCopyEntry(src_id, 0, run_start, pos - 1)
+                    )
+                targets.append(_TargetPlan(ordinal=next_ordinal))
+                allocs_per_source[src_id].append(next_ordinal)
+                next_ordinal += 1
+                free = budget
+                run_start = pos
+            elif run_start is None:
+                run_start = pos
+            targets[-1].units.append(unit)
+            free -= cost
+        if run_start is not None:
+            targets[-1].extents.append(
+                KeyCopyEntry(src_id, 0, run_start, len(rows) - 1)
+            )
+    return [t for t in targets if t.units], allocs_per_source
+
+
+# ------------------------------------------------------------- orchestration
+
+
+def copy_multipage(
+    ctx: EngineContext,
+    tree: "object",
+    txn: Transaction,
+    config: RebuildConfig,
+    chunk_alloc: ChunkAllocator,
+    p1_id: int,
+    cleanup: list[int],
+    deallocated: list[int],
+    stop_unit: bytes | None = None,
+) -> CopyResult:
+    """Run the copy phase for the run of leaves starting at ``p1_id``.
+
+    ``stop_unit`` bounds a range-restricted rebuild: the run does not
+    extend past the leaf containing it.  Raises :class:`PositionLost` if
+    ``p1_id`` stopped being a usable leaf before it could be locked (the
+    driver re-discovers and retries).
+    """
+    source_bit = (
+        PageFlag.SPLIT if config.split_then_shrink else PageFlag.SHRINK
+    )
+    large_io = config.use_large_io
+    pp_id, p1_id = _lock_pp_and_p1(
+        ctx, txn, p1_id, cleanup, source_bit, large_io
+    )
+    old_ids = _extend_run(
+        ctx, txn, p1_id, config.ntasize, cleanup, source_bit, large_io,
+        stop_unit,
+    )
+    ctx.syncpoints.fire(
+        "rebuild.copy_locked", pp=pp_id, sources=list(old_ids)
+    )
+
+    # Read the source rows (old pages are frozen now).  Large buffers are
+    # used for the sequential read of the old index (§6.3).
+    sources: list[tuple[int, list[bytes]]] = []
+    next_after_run = NO_PAGE
+    for pid in old_ids:
+        page = ctx.get_latched(pid, LatchMode.S, large_io=config.use_large_io)
+        sources.append((pid, list(page.rows)))
+        next_after_run = page.next_page
+        ctx.release_page(pid)
+
+    pp_low_unit: bytes | None = None
+    pp_last_unit: bytes | None = None
+    pp_free_budget = 0
+    capacity = ctx.page_size - HEADER_SIZE
+    if pp_id != NO_PAGE:
+        pp = ctx.get_latched(pp_id, LatchMode.S)
+        pp_low_unit = pp.rows[0] if pp.rows else None
+        pp_last_unit = pp.rows[-1] if pp.rows else None
+        budget = max(1, int(config.fillfactor * capacity))
+        pp_free_budget = max(0, budget - (pp.used_bytes - HEADER_SIZE))
+        # Never overflow the physical page whatever the fillfactor says.
+        pp_free_budget = min(pp_free_budget, pp.free_bytes)
+        ctx.release_page(pp_id)
+
+    targets, allocs_per_source = plan_copy(
+        sources, pp_free_budget, capacity, config.fillfactor
+    )
+
+    # Allocate the new pages from the contiguous chunk cursor (§6.1); a
+    # fresh cursor (e.g. an incremental slice resuming) continues right
+    # behind PP when that space is free, keeping slices disk-adjacent.
+    if not chunk_alloc.allocated and pp_id != NO_PAGE:
+        chunk_alloc.prefer_after = pp_id
+    ordinal_to_id: dict[int, int] = {-1: pp_id}
+    new_ids: list[int] = []
+    for t in targets:
+        if t.ordinal >= 0:
+            ordinal_to_id[t.ordinal] = chunk_alloc.next_page()
+            new_ids.append(ordinal_to_id[t.ordinal])
+
+    _apply_copy(
+        ctx, tree, txn, config, sources, targets, ordinal_to_id,
+        pp_id, p1_id, new_ids, next_after_run, cleanup,
+    )
+
+    # Deallocate the old pages in one batched record (allocation-state
+    # logging covers the whole run); they are freed at txn commit (§3).
+    ctx.txns.append(
+        txn,
+        LogRecord(
+            type=RecordType.DEALLOC,
+            page_id=old_ids[0],
+            page_ids=list(old_ids),
+        ),
+    )
+    for pid in old_ids:
+        ctx.page_manager.deallocate(pid)
+        deallocated.append(pid)
+    ctx.counters.add("leaf_pages_rebuilt", len(old_ids))
+
+    prop_entries = _propagation_entries(
+        sources, targets, allocs_per_source, ordinal_to_id, pp_last_unit,
+        unit_len=tree.key_len + 6,
+    )
+    last_target = (
+        new_ids[-1] if new_ids else (pp_id if pp_id != NO_PAGE else NO_PAGE)
+    )
+    resume_unit = sources[-1][1][-1] if sources[-1][1] else b""
+    ctx.syncpoints.fire(
+        "rebuild.copy_done", sources=list(old_ids), new_pages=list(new_ids)
+    )
+    return CopyResult(
+        prop_entries=prop_entries,
+        new_pages=new_ids,
+        old_pages=list(old_ids),
+        pp_page=pp_id,
+        pp_low_unit=pp_low_unit,
+        last_target=last_target,
+        resume_unit=resume_unit,
+        reached_end=next_after_run == NO_PAGE,
+    )
+
+
+# ------------------------------------------------------------------ locking
+
+
+def _acquire_page(
+    ctx: EngineContext,
+    txn: Transaction,
+    page_id: int,
+    bit: PageFlag,
+    large_io: bool = False,
+) -> bool:
+    """Conditionally lock + bit one page under its X latch.
+
+    Returns False when the page is held by another top action (foreign bit
+    or lock) or is no longer an allocated page.  The bit goes on before the
+    latch drops, preserving the locked-iff-bitted invariant latch-holders
+    rely on (§6.5).  ``large_io`` makes the (likely cold) source-page read
+    go through the big buffers, per §6.3.
+    """
+    if not ctx.page_manager.is_allocated(page_id):
+        return False
+    ctx.latches.acquire(page_id, LatchMode.X)
+    try:
+        page = ctx.buffer.fetch(page_id, large_io=large_io)
+    except Exception:
+        ctx.latches.release(page_id)
+        return False
+    try:
+        if page.has_flag(PageFlag.SPLIT) or page.has_flag(PageFlag.SHRINK):
+            return False
+        if not ctx.locks.try_acquire(
+            txn.txn_id, LockSpace.ADDRESS, page_id, LockMode.X
+        ):
+            return False
+        page.set_flag(bit)
+        return True
+    finally:
+        ctx.buffer.unpin(page_id)
+        ctx.latches.release(page_id)
+
+
+def _lock_pp_and_p1(
+    ctx: EngineContext,
+    txn: Transaction,
+    p1_id: int,
+    cleanup: list[int],
+    source_bit: PageFlag,
+    large_io: bool = False,
+) -> tuple[int, int]:
+    """Lock PP then P1, waiting (after releasing everything) when busy."""
+    while True:
+        if not ctx.page_manager.is_allocated(p1_id):
+            raise PositionLost(f"leaf {p1_id} is gone")
+        page = ctx.get_latched(p1_id, LatchMode.S, large_io=large_io)
+        if page.page_type is not PageType.LEAF:
+            ctx.release_page(p1_id)
+            raise PositionLost(f"page {p1_id} is no longer a leaf")
+        pp_id = page.prev_page
+        ctx.release_page(p1_id)
+
+        if pp_id != NO_PAGE:
+            if not _acquire_page(ctx, txn, pp_id, PageFlag.SHRINK, large_io):
+                ctx.locks.wait_instant(
+                    txn.txn_id, LockSpace.ADDRESS, pp_id, LockMode.S
+                )
+                continue
+            # Revalidate the chain under the lock.
+            pp = ctx.get_latched(pp_id, LatchMode.S)
+            still_prev = (
+                ctx.page_manager.is_allocated(pp_id)
+                and pp.page_type is PageType.LEAF
+                and pp.next_page == p1_id
+            )
+            ctx.release_page(pp_id)
+            if not still_prev:
+                _release_one(ctx, txn, pp_id)
+                continue
+
+        if not _acquire_page(ctx, txn, p1_id, source_bit, large_io):
+            if pp_id != NO_PAGE:
+                _release_one(ctx, txn, pp_id)
+            # §6.5: release everything before waiting, then retry all.
+            ctx.locks.wait_instant(
+                txn.txn_id, LockSpace.ADDRESS, p1_id, LockMode.S
+            )
+            continue
+        if not ctx.page_manager.is_allocated(p1_id):
+            _release_one(ctx, txn, p1_id)
+            if pp_id != NO_PAGE:
+                _release_one(ctx, txn, pp_id)
+            raise PositionLost(f"leaf {p1_id} vanished while locking")
+        if pp_id != NO_PAGE:
+            cleanup.append(pp_id)
+        cleanup.append(p1_id)
+        return pp_id, p1_id
+
+
+def _extend_run(
+    ctx: EngineContext,
+    txn: Transaction,
+    p1_id: int,
+    ntasize: int,
+    cleanup: list[int],
+    source_bit: PageFlag,
+    large_io: bool = False,
+    stop_unit: bytes | None = None,
+) -> list[int]:
+    """Lock P2..Pn along the chain; stop (don't wait) at the first busy
+    one, and never extend past the leaf containing ``stop_unit``."""
+    run = [p1_id]
+    current = p1_id
+    while len(run) < ntasize:
+        page = ctx.get_latched(current, LatchMode.S)
+        next_id = page.next_page
+        past_range = (
+            stop_unit is not None
+            and page.nrows > 0
+            and page.rows[-1] >= stop_unit
+        )
+        ctx.release_page(current)
+        if past_range or next_id == NO_PAGE:
+            break
+        if not _acquire_page(ctx, txn, next_id, source_bit, large_io):
+            break  # §4.1.1: rebuild does not wait for P_i, i > 1
+        cleanup.append(next_id)
+        run.append(next_id)
+        current = next_id
+    return run
+
+
+def _release_one(ctx: EngineContext, txn: Transaction, page_id: int) -> None:
+    """Drop a conditionally acquired lock + bit (retry path)."""
+    page = ctx.get_latched(page_id, LatchMode.X)
+    page.clear_flag(PageFlag.SPLIT)
+    page.clear_flag(PageFlag.SHRINK)
+    ctx.release_page(page_id, dirty=True)
+    ctx.locks.release(txn.txn_id, LockSpace.ADDRESS, page_id)
+
+
+# ------------------------------------------------------------------ applying
+
+
+def _apply_copy(
+    ctx: EngineContext,
+    tree: "object",
+    txn: Transaction,
+    config: RebuildConfig,
+    sources: list[tuple[int, list[bytes]]],
+    targets: list[_TargetPlan],
+    ordinal_to_id: dict[int, int],
+    pp_id: int,
+    p1_id: int,
+    new_ids: list[int],
+    next_after_run: int,
+    cleanup: list[int],
+) -> None:
+    """Materialize the plan: ALLOC records, one keycopy record, links."""
+    index_id = _index_id_of(ctx, p1_id)
+
+    # Chain layout: pp -> new pages -> next_after_run.  Only the *next*
+    # component of PP's entry is ever applied (its prev is untouched); when
+    # there is no PP, the first new page becomes the leftmost leaf.
+    chain = ([pp_id] if pp_id != NO_PAGE else []) + new_ids
+    links: dict[int, tuple[int, int]] = {}
+    for i, pid in enumerate(chain):
+        prev = chain[i - 1] if i > 0 else NO_PAGE
+        nxt = chain[i + 1] if i + 1 < len(chain) else next_after_run
+        links[pid] = (prev, nxt)
+
+    # One batched alloc+format record for the whole run of new pages
+    # (X latched, X locked, SHRINK-bitted until the NTA ends).
+    new_pages: dict[int, Page] = {}
+    if new_ids:
+        run_rec = LogRecord(
+            type=RecordType.ALLOCRUN,
+            page_id=new_ids[0],
+            index_id=index_id,
+            page_type=int(PageType.LEAF),
+            level=0,
+            prev_page=links[new_ids[0]][0],
+            next_page=links[new_ids[-1]][1],
+            page_ids=list(new_ids),
+        )
+        run_lsn = ctx.txns.append(txn, run_rec)
+        for pid in new_ids:
+            prev, nxt = links[pid]
+            ctx.latches.acquire(pid, LatchMode.X)
+            page = ctx.buffer.new_page(pid)
+            ctx.locks.acquire(txn.txn_id, LockSpace.ADDRESS, pid, LockMode.X)
+            cleanup.append(pid)
+            page.set_flag(PageFlag.SHRINK)
+            page.page_type = PageType.LEAF
+            page.level = 0
+            page.index_id = index_id
+            page.prev_page = prev
+            page.next_page = nxt
+            page.page_lsn = run_lsn
+            ctx.counters.add("new_pages_allocated")
+            new_pages[pid] = page
+
+    # The single keycopy record (§4.1.2).  Chain links of the new pages are
+    # already captured by the ALLOCRUN record, so none are repeated here.
+    entries: list[KeyCopyEntry] = []
+    target_ts: list[tuple[int, int]] = []
+    chain_links: list[ChainLink] = []
+    pp_page: Page | None = None
+    pp_old_next = NO_PAGE
+    if pp_id != NO_PAGE:
+        ctx.latches.acquire(pp_id, LatchMode.X)
+        pp_page = ctx.buffer.fetch(pp_id)
+        pp_old_next = pp_page.next_page
+        target_ts.append((pp_id, pp_page.page_lsn))
+    for t in targets:
+        tgt_id = ordinal_to_id[t.ordinal]
+        for e in t.extents:
+            entries.append(
+                KeyCopyEntry(e.src_page, tgt_id, e.first_pos, e.last_pos)
+            )
+        if t.ordinal >= 0:
+            target_ts.append((tgt_id, new_pages[tgt_id].page_lsn))
+    pp_new_next = links[pp_id][1] if pp_id != NO_PAGE else NO_PAGE
+    keycopy = LogRecord(
+        type=RecordType.KEYCOPY,
+        page_id=pp_id if pp_id != NO_PAGE else (new_ids[0] if new_ids else p1_id),
+        index_id=index_id,
+        pp_page=pp_id,
+        pp_old_next=pp_old_next,
+        pp_new_next=pp_new_next,
+        entries=entries,
+        target_ts=target_ts,
+        links=chain_links,
+    )
+    lsn = ctx.txns.append(txn, keycopy)
+    ctx.counters.add("top_actions")
+
+    # Apply: append the planned units to each target, stamp timestamps.
+    copied_bytes = 0
+    for t in targets:
+        tgt_id = ordinal_to_id[t.ordinal]
+        if t.ordinal == -1:
+            assert pp_page is not None
+            page = pp_page
+        else:
+            page = new_pages[tgt_id]
+        for unit in t.units:
+            page.append_row(unit)
+            copied_bytes += len(unit)
+        page.page_lsn = lsn
+        ctx.buffer.mark_dirty(tgt_id)
+    ctx.counters.add("bytes_copied", copied_bytes)
+
+    if config.split_then_shrink:
+        # §6.2: flip the old pages' SPLIT bits to SHRINK before unlinking.
+        for src_id, _rows in sources:
+            page = ctx.get_latched(src_id, LatchMode.X)
+            page.clear_flag(PageFlag.SPLIT)
+            page.set_flag(PageFlag.SHRINK)
+            ctx.release_page(src_id, dirty=True)
+
+    # Relink the chain around the old run.
+    if pp_page is not None:
+        pp_page.next_page = pp_new_next
+        ctx.buffer.unpin(pp_id, dirty=True)
+        ctx.latches.release(pp_id)
+    for pid in new_ids:
+        ctx.buffer.unpin(pid, dirty=True)
+        ctx.latches.release(pid)
+    if next_after_run != NO_PAGE:
+        new_prev = new_ids[-1] if new_ids else pp_id
+        _update_prev_link(ctx, txn, next_after_run, new_prev=new_prev)
+
+
+def _propagation_entries(
+    sources: list[tuple[int, list[bytes]]],
+    targets: list[_TargetPlan],
+    allocs_per_source: dict[int, list[int]],
+    ordinal_to_id: dict[int, int],
+    pp_last_unit: bytes | None,
+    unit_len: int | None = None,
+) -> list[PropagationEntry]:
+    """The §5.2 rules, with suffix-compressed separator keys.
+
+    A new page's separator is computed against the last unit physically
+    preceding it in the chain: the previous new page's last unit, or —
+    for the first new page — PP's last unit (``pp_last_unit``; PP counts
+    even when it absorbed nothing this time, e.g. because the previous top
+    action already filled it to the fillfactor).  Only when P1 was the
+    leftmost leaf of the whole index is there no predecessor at all; that
+    page's entry always lands in position 0 of its parent and is stripped,
+    so its separator value never routes anything.
+    """
+    # Last unit of the target preceding each ordinal, for separators.
+    prev_last: dict[int, bytes | None] = {}
+    previous: bytes | None = pp_last_unit
+    for t in sorted(targets, key=lambda t: t.ordinal):
+        prev_last[t.ordinal] = previous
+        previous = t.units[-1]
+    first_unit: dict[int, bytes] = {
+        t.ordinal: t.units[0] for t in targets
+    }
+
+    out: list[PropagationEntry] = []
+    for src_id, rows in sources:
+        route = rows[0]
+        ordinals = allocs_per_source[src_id]
+        if not ordinals:
+            out.append(
+                PropagationEntry(PropOp.DELETE, origin=src_id, route_key=route)
+            )
+            continue
+        for i, ordinal in enumerate(ordinals):
+            before = prev_last[ordinal]
+            # Separators route search units, so payload bytes (primary
+            # indexes, footnote 2) are sliced off before compressing.
+            first = first_unit[ordinal]
+            if unit_len is not None:
+                first = first[:unit_len]
+                before = before[:unit_len] if before is not None else None
+            sep = (
+                K.separator(before, first)
+                if before is not None
+                else first[:1]  # leftmost page of the index
+            )
+            op = PropOp.UPDATE if i == 0 else PropOp.INSERT
+            out.append(
+                PropagationEntry(
+                    op,
+                    origin=src_id,
+                    route_key=route,
+                    new_key=sep,
+                    new_child=ordinal_to_id[ordinal],
+                )
+            )
+    return out
+
+
+def _index_id_of(ctx: EngineContext, page_id: int) -> int:
+    page = ctx.buffer.fetch(page_id)
+    index_id = page.index_id
+    ctx.buffer.unpin(page_id)
+    return index_id

@@ -1,0 +1,382 @@
+"""The online index rebuild driver (§3).
+
+``OnlineRebuild.run`` walks the leaf chain left to right as *a sequence of
+transactions*, each performing up to ``xactsize / ntasize`` multipage
+rebuild top actions.  At every transaction boundary the protocol of §3 is
+observed exactly:
+
+1. the new pages generated in the transaction are **forced to disk**
+   (through large physical I/Os — the chunk allocator made them
+   contiguous);
+2. the transaction commits;
+3. the old pages it deallocated are **freed** (made available for fresh
+   allocation) by scanning the transaction's log records for deallocations
+   — the order that lets the keycopy record omit key contents.
+
+If the rebuild aborts (user interrupt, injected fault), the in-flight top
+action is rolled back, but completed top actions stay: their new pages are
+flushed and their deallocated old pages freed during the rollback
+(§4.1.3), so an aborted rebuild still keeps all the progress it made.
+User transactions are never aborted by the rebuild (§7).
+
+Position tracking is by key, not by page: after each top action the
+highest copied unit is remembered, and the next top action re-discovers
+the first leaf holding anything greater.  This makes the rebuild immune to
+concurrent splits and shrinks rearranging the chain between top actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.btree import keys as K
+from repro.btree import node
+from repro.btree.split import clear_protocol_bits
+from repro.btree.traversal import AccessMode, Traversal
+from repro.btree.tree import BTree
+from repro.concurrency.latch import LatchMode
+from repro.concurrency.locks import LockSpace
+from repro.concurrency.syncpoints import CrashPoint
+from repro.concurrency.txn import Transaction
+from repro.context import EngineContext
+from repro.core.config import RebuildConfig
+from repro.core.copy_phase import PositionLost, copy_multipage
+from repro.core.propagation import PropagationState, run_propagation
+from repro.errors import RebuildAbortedError, RebuildError
+from repro.stats.counters import Timer
+from repro.storage.page import NO_PAGE, PageFlag
+from repro.storage.page_manager import ChunkAllocator, PageState
+from repro.wal.records import RecordType
+
+
+@dataclass
+class RebuildReport:
+    """What one rebuild run did (inputs to EXPERIMENTS.md)."""
+
+    leaf_pages_rebuilt: int = 0
+    new_leaf_pages: int = 0
+    transactions: int = 0
+    top_actions: int = 0
+    pages_freed: int = 0
+    log_bytes: int = 0
+    log_records: int = 0
+    log_bytes_by_type: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    counter_deltas: dict[str, int] = field(default_factory=dict)
+    aborted: bool = False
+    completed: bool = True
+    resume_unit: bytes | None = None
+    """Highest leaf unit copied.  When ``completed`` is False (a
+    ``max_pages`` slice ended early), pass this as ``resume_after`` to the
+    next ``run`` call to continue where this slice stopped — the §7
+    "incremental reorganization" mode that sidefile schemes cannot do."""
+
+
+class OnlineRebuild:
+    """One online rebuild of one index.  Not reentrant per index."""
+
+    def __init__(self, tree: BTree, config: RebuildConfig | None = None) -> None:
+        self.tree = tree
+        self.ctx: EngineContext = tree.ctx
+        self.config = config if config is not None else RebuildConfig()
+
+    def run(
+        self,
+        start_key: bytes | None = None,
+        end_key: bytes | None = None,
+        max_pages: int | None = None,
+        resume_after: bytes | None = None,
+    ) -> RebuildReport:
+        """Rebuild the index online; returns a measurement report.
+
+        The default rebuilds everything.  Three restrictions compose for
+        incremental / range-restricted operation (§7: "incremental
+        reorganization is difficult" for copy-based schemes; inline
+        reorganization makes it trivial):
+
+        * ``start_key`` / ``end_key`` — rebuild only leaves holding keys
+          in ``[start_key, end_key]`` (whole leaves: the boundary leaves
+          are included);
+        * ``max_pages`` — stop after roughly this many old leaves (at top
+          action granularity) and report ``completed=False`` plus a
+          ``resume_unit``;
+        * ``resume_after`` — a previous report's ``resume_unit``;
+          continues from its successor.
+        """
+        tree, ctx, config = self.tree, self.ctx, self.config
+        if getattr(tree, "_rebuild_active", False):
+            raise RebuildError(
+                f"index {tree.index_id} already has a rebuild in progress"
+            )
+        if start_key is not None and len(start_key) != tree.key_len:
+            raise RebuildError(
+                f"start_key must be {tree.key_len} bytes"
+            )
+        if end_key is not None and len(end_key) != tree.key_len:
+            raise RebuildError(f"end_key must be {tree.key_len} bytes")
+        self._start_unit = (
+            resume_after + b"\x00"  # strictly after the last copied unit
+            if resume_after is not None
+            else (K.search_floor(start_key) if start_key is not None else None)
+        )
+        self._end_unit = (
+            K.search_ceiling(end_key) if end_key is not None else None
+        )
+        self._max_pages = max_pages
+        tree._rebuild_active = True  # type: ignore[attr-defined]
+        chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
+        traversal = Traversal(ctx, tree)
+        report = RebuildReport()
+        counters_before = ctx.counters.snapshot()
+        log_before = ctx.log.usage_snapshot()
+        timer = Timer()
+        try:
+            with timer:
+                self._drive(chunk_alloc, traversal, report)
+        finally:
+            chunk_alloc.close()
+            tree._rebuild_active = False  # type: ignore[attr-defined]
+        report.wall_seconds = timer.wall_seconds
+        report.cpu_seconds = timer.cpu_seconds
+        report.counter_deltas = ctx.counters.diff(counters_before)
+        usage = ctx.log.usage_diff(log_before, ctx.log.usage_snapshot())
+        report.log_bytes = sum(usage["bytes"].values())
+        report.log_records = sum(usage["counts"].values())
+        report.log_bytes_by_type = dict(usage["bytes"])
+        return report
+
+    # ------------------------------------------------------------------ drive
+
+    def _drive(
+        self,
+        chunk_alloc: ChunkAllocator,
+        traversal: Traversal,
+        report: RebuildReport,
+    ) -> None:
+        ctx, config = self.ctx, self.config
+        probe: bytes | None = self._start_unit
+        done = False
+        while not done:
+            txn = ctx.txns.begin()
+            txn_new_pages: list[int] = []
+            pages_this_txn = 0
+            try:
+                while pages_this_txn < config.xactsize and not done:
+                    if (
+                        self._max_pages is not None
+                        and report.leaf_pages_rebuilt >= self._max_pages
+                    ):
+                        report.completed = False
+                        done = True
+                        break
+                    p1 = self._discover_position(txn, probe)
+                    if p1 is None:
+                        done = True
+                        break
+                    outcome = self._one_top_action(
+                        txn, chunk_alloc, traversal, p1, txn_new_pages,
+                        report,
+                    )
+                    if outcome is None:
+                        continue  # position lost; rediscover and retry
+                    resume_unit, reached_end, rebuilt = outcome
+                    report.resume_unit = resume_unit
+                    probe = resume_unit + b"\x00"
+                    pages_this_txn += rebuilt
+                    done = reached_end
+                    if (
+                        self._end_unit is not None
+                        and resume_unit >= self._end_unit
+                    ):
+                        done = True  # the requested range is finished
+            except CrashPoint:
+                raise  # simulated power failure: skip the abort protocol
+            except BaseException as exc:
+                self._abort(txn, txn_new_pages, report)
+                raise RebuildAbortedError(
+                    f"online rebuild aborted: {exc}"
+                ) from exc
+            # §3 transaction boundary: force new pages, commit, free old.
+            ctx.buffer.flush_pages(txn_new_pages)
+            ctx.syncpoints.fire(
+                "rebuild.txn_flushed", new_pages=list(txn_new_pages)
+            )
+            ctx.txns.commit(txn)
+            report.pages_freed += self._free_deallocated_of(txn)
+            report.transactions += 1
+            ctx.counters.add("rebuild_transactions")
+            report.new_leaf_pages += len(txn_new_pages)
+            ctx.syncpoints.fire(
+                "rebuild.txn_committed", pages=pages_this_txn
+            )
+
+    def _one_top_action(
+        self,
+        txn: Transaction,
+        chunk_alloc: ChunkAllocator,
+        traversal: Traversal,
+        p1: int,
+        txn_new_pages: list[int],
+        report: RebuildReport,
+    ) -> tuple[bytes, bool, int] | None:
+        """Run one multipage rebuild top action starting at leaf ``p1``.
+
+        Returns (resume_unit, reached_end, pages_rebuilt), or None when the
+        position was lost before any work was logged (caller rediscovers).
+        """
+        ctx, config, tree = self.ctx, self.config, self.tree
+        cleanup: list[int] = []
+        deallocated: list[int] = []
+        nta_new_pages: list[int] = []
+        ctx.txns.begin_nta(txn)
+        try:
+            result = copy_multipage(
+                ctx, tree, txn, config, chunk_alloc, p1, cleanup,
+                deallocated, stop_unit=self._end_unit,
+            )
+            nta_new_pages.extend(result.new_pages)
+            state = PropagationState(
+                pp_page=result.pp_page,
+                pp_low_unit=result.pp_low_unit,
+            )
+            run_propagation(
+                ctx, tree, txn, result.prop_entries, traversal,
+                cleanup, deallocated, nta_new_pages, config, state,
+            )
+        except PositionLost:
+            ctx.txns.abort_nta(txn)
+            return None
+        except CrashPoint:
+            raise  # simulated power failure: no runtime cleanup at all
+        except BaseException:
+            ctx.latches.release_all()
+            ctx.txns.abort_nta(txn)
+            self._clear_bits_safely(txn, cleanup)
+            raise
+        ctx.txns.end_nta(txn)
+        clear_protocol_bits(ctx, txn, cleanup)
+        txn_new_pages.extend(nta_new_pages)
+        report.top_actions += 1
+        report.leaf_pages_rebuilt += len(result.old_pages)
+        ctx.syncpoints.fire(
+            "rebuild.nta_end",
+            old_pages=list(result.old_pages),
+            new_pages=list(result.new_pages),
+        )
+        return result.resume_unit, result.reached_end, len(result.old_pages)
+
+    # -------------------------------------------------------------- position
+
+    def _discover_position(
+        self, txn: Transaction, probe: bytes | None
+    ) -> int | None:
+        """Find the leaf holding the first unit >= ``probe`` (or the
+        leftmost leaf when ``probe`` is None); None when past the end or
+        past the requested range.
+
+        Position tracking is by key, never by page id, which makes the
+        rebuild immune to concurrent splits/shrinks between top actions
+        and is also what lets a later run resume an interrupted one.
+        """
+        ctx, tree = self.ctx, self.tree
+        if probe is None:
+            # Start of the rebuild: the leftmost leaf, unless the index is
+            # a single root leaf (nothing to relocate — the root id is
+            # stable, so a one-page index is already as packed as it gets).
+            first = self._leftmost_leaf(txn)
+            if first == tree.root_page_id:
+                return None
+            return first
+        leaf = Traversal(ctx, tree).traverse(
+            probe, AccessMode.READER, 0, txn
+        )
+        pos, _found = node.leaf_search(leaf, probe, ctx.counters)
+        if pos < leaf.nrows:
+            low = leaf.rows[pos]
+            leaf_id = leaf.page_id
+            ctx.release_page(leaf_id)
+            if self._end_unit is not None and low > self._end_unit:
+                return None  # the remaining leaves are past the range
+            if leaf_id == tree.root_page_id:
+                return None  # single-leaf tree: nothing to relocate
+            return leaf_id
+        next_id = leaf.next_page
+        ctx.release_page(leaf.page_id)
+        if next_id == NO_PAGE:
+            return None
+        nxt = ctx.get_latched(next_id, LatchMode.S)
+        low = nxt.rows[0] if nxt.rows else None
+        ctx.release_page(next_id)
+        if (
+            self._end_unit is not None
+            and low is not None
+            and low > self._end_unit
+        ):
+            return None
+        return next_id
+
+    def _leftmost_leaf(self, txn: Transaction) -> int:
+        """Latched descent along first children to the leftmost leaf."""
+        ctx, tree = self.ctx, self.tree
+        trav = Traversal(ctx, tree)
+        # An empty key unit routes to the leftmost path at every level.
+        lo = b"\x00" * (tree.key_len + 6)
+        leaf = trav.traverse(lo, AccessMode.READER, 0, txn)
+        leaf_id = leaf.page_id
+        ctx.release_page(leaf_id)
+        return leaf_id
+
+    # ----------------------------------------------------------------- abort
+
+    def _abort(
+        self,
+        txn: Transaction,
+        txn_new_pages: list[int],
+        report: RebuildReport,
+    ) -> None:
+        """§4.1.3 abort path: keep completed top actions, free their pages.
+
+        The in-flight top action was already rolled back by the caller;
+        here the transaction itself aborts (a no-op for completed NTAs,
+        which rollback skips via their dummy CLRs), new pages are flushed,
+        and pages deallocated by completed top actions are freed.
+        """
+        ctx = self.ctx
+        ctx.latches.release_all()
+        ctx.buffer.flush_pages(txn_new_pages)
+        ctx.txns.abort(txn)
+        report.pages_freed += self._free_deallocated_of(txn)
+        report.aborted = True
+        ctx.syncpoints.fire("rebuild.aborted")
+
+    def _clear_bits_safely(self, txn: Transaction, cleanup: list[int]) -> None:
+        """Clear bits / release locks for an aborted top action's pages."""
+        ctx = self.ctx
+        for page_id in cleanup:
+            if ctx.page_manager.is_allocated(page_id):
+                page = ctx.get_latched(page_id, LatchMode.X)
+                page.clear_flag(PageFlag.SPLIT)
+                page.clear_flag(PageFlag.SHRINK)
+                page.clear_side_entry()
+                page.clear_blocked_range()
+                ctx.release_page(page_id, dirty=True)
+            if ctx.locks.holds(
+                txn.txn_id, LockSpace.ADDRESS, page_id
+            ):
+                ctx.locks.release(txn.txn_id, LockSpace.ADDRESS, page_id)
+
+    # ---------------------------------------------------------------- freeing
+
+    def _free_deallocated_of(self, txn: Transaction) -> int:
+        """§4.1.3: free this transaction's deallocated pages via a log scan."""
+        ctx = self.ctx
+        freed = 0
+        for rec in ctx.log.scan(from_lsn=txn.begin_lsn):
+            if rec.txn_id != txn.txn_id or rec.type is not RecordType.DEALLOC:
+                continue
+            for pid in rec.page_ids or [rec.page_id]:
+                if ctx.page_manager.state(pid) is PageState.DEALLOCATED:
+                    ctx.page_manager.free(pid)
+                    freed += 1
+        return freed

@@ -1,0 +1,212 @@
+"""The top-level engine: index catalog, checkpoints, crash, and recovery.
+
+An :class:`Engine` wires an :class:`~repro.context.EngineContext` together
+with an index catalog and the checkpoint/recovery cycle:
+
+* :meth:`create_index` builds an empty B+-tree and checkpoints, so that a
+  crash at any later point can recover the catalog from the log;
+* :meth:`crash` simulates losing volatile state — every buffer frame and
+  the unflushed log tail — while the disk keeps what was written;
+* :meth:`recover` runs the ARIES-style pass of
+  :class:`~repro.wal.recovery.RecoveryManager`, then sweeps leftover
+  SPLIT/SHRINK/OLDPGOFSPLIT bits (they describe in-flight top actions, and
+  after a crash no top action is in flight) and rebuilds the index handles
+  from the recovered catalog.
+"""
+
+from __future__ import annotations
+
+from repro.btree.tree import BTree
+from repro.context import EngineContext
+from repro.errors import ReproError
+from repro.stats.counters import Counters
+from repro.storage.page import PAGE_SIZE_DEFAULT, PageFlag
+from repro.wal.records import LogRecord, RecordType
+from repro.wal.recovery import RecoveryManager, RecoveryReport
+
+
+class Engine:
+    """A single-node storage engine hosting secondary B+-tree indexes."""
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        io_size: int | None = None,
+        buffer_capacity: int = 4096,
+        counters: Counters | None = None,
+        lock_timeout: float = 30.0,
+        lock_rows: bool = False,
+        storage_dir: str | None = None,
+    ) -> None:
+        self.ctx = EngineContext.create(
+            page_size=page_size,
+            io_size=io_size,
+            buffer_capacity=buffer_capacity,
+            counters=counters,
+            lock_timeout=lock_timeout,
+            storage_dir=storage_dir,
+        )
+        self.storage_dir = storage_dir
+        self.lock_rows = lock_rows
+        self.indexes: dict[int, BTree] = {}
+
+    @classmethod
+    def open(cls, storage_dir: str, **kwargs: object) -> "Engine":
+        """Reattach to a file-backed database and run crash recovery.
+
+        Everything durable at the last flush point — committed
+        transactions, completed rebuild top actions — is restored; the
+        index catalog comes back from the last checkpoint.
+        """
+        engine = cls(storage_dir=storage_dir, **kwargs)  # type: ignore[arg-type]
+        engine.recover()
+        return engine
+
+    def close(self) -> None:
+        """Cleanly shut down a file-backed engine (checkpoint + close)."""
+        self.checkpoint()
+        disk = self.ctx.disk
+        log = self.ctx.log
+        if hasattr(disk, "close"):
+            disk.close()
+        if hasattr(log, "close"):
+            log.close()
+
+    # Convenience pass-throughs used all over tests and benchmarks.
+    @property
+    def counters(self) -> Counters:
+        return self.ctx.counters
+
+    @property
+    def log(self):  # noqa: ANN201 - simple delegation
+        return self.ctx.log
+
+    @property
+    def buffer(self):  # noqa: ANN201
+        return self.ctx.buffer
+
+    @property
+    def page_manager(self):  # noqa: ANN201
+        return self.ctx.page_manager
+
+    @property
+    def syncpoints(self):  # noqa: ANN201
+        return self.ctx.syncpoints
+
+    # ---------------------------------------------------------------- catalog
+
+    def create_index(self, key_len: int, index_id: int | None = None) -> BTree:
+        """Create an empty secondary index with fixed-length keys."""
+        if index_id is None:
+            index_id = max(self.indexes, default=0) + 1
+        if index_id in self.indexes:
+            raise ReproError(f"index {index_id} already exists")
+        tree = BTree.create(
+            self.ctx, index_id, key_len, lock_rows=self.lock_rows
+        )
+        self.indexes[index_id] = tree
+        self.ctx.index_roots[index_id] = tree.root_page_id
+        self.checkpoint()
+        return tree
+
+    def index(self, index_id: int = 1) -> BTree:
+        return self.indexes[index_id]
+
+    # ------------------------------------------------------------- durability
+
+    def checkpoint(self, truncate: bool = False) -> int:
+        """Flush everything and log a checkpoint with catalog + page states.
+
+        With ``truncate`` the log prefix that recovery can no longer need
+        is dropped: everything before this checkpoint, bounded by the
+        begin LSN of the oldest still-active transaction.  Because rebuild
+        transactions are short (a few hundred pages each, §3), checkpoints
+        taken *during* an online rebuild still truncate almost everything
+        — unlike sidefile schemes, which pin the log for the whole
+        reorganization (§7 on [SBC97]).
+        """
+        self.ctx.buffer.flush_all()
+        payload = {
+            "page_manager": self.ctx.page_manager.snapshot(),
+            "index_meta": {
+                str(index_id): {
+                    "root": tree.root_page_id,
+                    "key_len": tree.key_len,
+                }
+                for index_id, tree in self.indexes.items()
+            },
+        }
+        rec = LogRecord(type=RecordType.CHECKPOINT, payload_json=payload)
+        lsn = self.ctx.log.append(rec)
+        self.ctx.log.flush_to(lsn)
+        if truncate:
+            safe = lsn
+            for txn in self.ctx.txns.active.values():
+                safe = min(safe, txn.begin_lsn)
+            self.ctx.log.truncate_before(safe)
+        return lsn
+
+    def crash(self) -> None:
+        """Lose all volatile state: buffer frames, the unflushed log tail,
+        and every latch / lock / transaction (none of which survive a real
+        process death)."""
+        ctx = self.ctx
+        ctx.buffer.crash()
+        ctx.log.crash()
+        self.indexes.clear()
+        from repro.concurrency.latch import LatchManager
+        from repro.concurrency.locks import LockManager
+        from repro.concurrency.txn import TransactionManager
+        from repro.wal.apply import ApplyContext, undo_record
+
+        ctx.latches = LatchManager(counters=ctx.counters)
+        ctx.locks = LockManager(counters=ctx.counters)
+        ctx.txns = TransactionManager(ctx.log, counters=ctx.counters)
+        ctx.txns.set_undo_applier(
+            lambda rec, clr_lsn: undo_record(
+                rec,
+                ApplyContext(ctx.buffer, ctx.page_manager, ctx.index_roots),
+                clr_lsn,
+            )
+        )
+        ctx.txns.lock_manager = ctx.locks
+
+    def recover(self) -> RecoveryReport:
+        """Run crash recovery and rebuild the index catalog."""
+        manager = RecoveryManager(
+            self.ctx.log,
+            self.ctx.buffer,
+            self.ctx.page_manager,
+            counters=self.ctx.counters,
+        )
+        report = manager.recover()
+        self._clear_protocol_bits()
+        self.indexes = {
+            int(index_id): BTree(
+                self.ctx,
+                int(index_id),
+                int(meta["key_len"]),
+                int(meta["root"]),
+                lock_rows=self.lock_rows,
+            )
+            for index_id, meta in report.index_meta.items()
+        }
+        self.ctx.index_roots.clear()
+        self.ctx.index_roots.update(
+            {iid: tree.root_page_id for iid, tree in self.indexes.items()}
+        )
+        return report
+
+    def _clear_protocol_bits(self) -> None:
+        """Bits describe in-flight top actions; after a crash there are none."""
+        for page_id in self.ctx.page_manager.allocated_pages():
+            page = self.ctx.buffer.fetch(page_id)
+            dirty = False
+            if page.flags != PageFlag.NONE or page.side_page:
+                page.clear_flag(PageFlag.SPLIT)
+                page.clear_flag(PageFlag.SHRINK)
+                page.clear_side_entry()
+                page.clear_blocked_range()
+                dirty = True
+            self.ctx.buffer.unpin(page_id, dirty=dirty)
+        self.ctx.buffer.flush_all()

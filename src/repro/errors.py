@@ -1,0 +1,116 @@
+"""Exception hierarchy for the online index rebuild engine.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subsystems raise the narrower classes below;
+none of them are ever used for control flow that a caller is expected to
+ignore silently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors (disk, pages, allocation)."""
+
+
+class PageFormatError(StorageError):
+    """A page's on-disk bytes are malformed or violate the slotted layout."""
+
+
+class PageFullError(StorageError):
+    """A row/entry does not fit in the target page.
+
+    This is an internal signal used by page-level code; index-level code
+    catches it and performs a split.  It never escapes the public API.
+    """
+
+
+class AllocationError(StorageError):
+    """The page manager cannot satisfy an allocation request."""
+
+
+class PageStateError(StorageError):
+    """An operation was attempted on a page in the wrong allocation state
+    (e.g. reading a freed page, or double-deallocating a page)."""
+
+
+class BufferError_(StorageError):
+    """Buffer-pool misuse: unpinning an unpinned page, pool exhaustion, etc.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class WALError(ReproError):
+    """Base class for write-ahead-log errors."""
+
+
+class LogFormatError(WALError):
+    """A log record cannot be (de)serialized."""
+
+
+class RecoveryError(WALError):
+    """Crash recovery encountered an inconsistency it cannot repair."""
+
+
+class ConcurrencyError(ReproError):
+    """Base class for latch / lock / transaction errors."""
+
+
+class LatchError(ConcurrencyError):
+    """Latch protocol violation (double release, upgrade misuse, ...)."""
+
+
+class LockError(ConcurrencyError):
+    """Lock-manager protocol violation."""
+
+
+class DeadlockError(ConcurrencyError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(ConcurrencyError):
+    """A lock or latch wait exceeded its watchdog timeout.
+
+    The paper proves latch/address-lock deadlock freedom; a timeout in a test
+    or stress run therefore indicates a bug, and we fail loudly instead of
+    hanging.
+    """
+
+
+class TransactionError(ConcurrencyError):
+    """Transaction or nested-top-action protocol violation."""
+
+
+class BTreeError(ReproError):
+    """Base class for B+-tree errors."""
+
+
+class KeyNotFoundError(BTreeError):
+    """A delete or lookup referenced a (key, rowid) pair not in the index."""
+
+
+class DuplicateKeyError(BTreeError):
+    """An insert supplied a (key, rowid) pair already present."""
+
+
+class TreeStructureError(BTreeError):
+    """The structural verifier found a broken invariant."""
+
+
+class RebuildError(ReproError):
+    """Online rebuild could not make progress or was misconfigured."""
+
+
+class RebuildAbortedError(RebuildError):
+    """Online rebuild was aborted (user interrupt or injected fault).
+
+    Completed top actions stay committed; the paper's §4.1.3 cleanup (flush
+    new pages, then free pages deallocated by completed top actions) runs
+    before this is raised.
+    """

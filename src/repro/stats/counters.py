@@ -1,0 +1,114 @@
+"""Cost-model counters.
+
+The paper reports CPU-time ratios measured on a Sun Ultra-SPARC.  Python
+wall/CPU time depends on the host, so alongside ``time.process_time()`` we
+keep a deterministic operation-count cost model.  Every subsystem increments
+the shared :class:`Counters` instance it was constructed with; benchmarks
+snapshot and diff it around the measured region.
+
+The counter names mirror the costs the paper attributes to small
+``ntasize`` (§4.3, §6.2): calls to the lock manager and latch manager,
+visits to level-1 pages, log bytes, and raw byte copying.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Thread-safe bag of monotonically increasing operation counters.
+
+    Attributes are plain integers; use :meth:`add` (or the convenience
+    ``bump``) from hot paths, and :meth:`snapshot` / :meth:`diff` from
+    benchmarks.
+    """
+
+    # Latch / lock manager traffic.
+    latch_acquires: int = 0
+    latch_waits: int = 0
+    lock_mgr_calls: int = 0
+    lock_waits: int = 0
+    lock_wait_us: int = 0  # total blocked time on locks, microseconds
+
+    # Page traffic.
+    page_reads: int = 0          # logical page reads through the buffer pool
+    page_writes: int = 0         # logical page writes (dirty evict or force)
+    disk_io_calls: int = 0       # physical I/O calls (large buffers batch these)
+    disk_pages_read: int = 0
+    disk_pages_written: int = 0
+
+    # Tree traffic.
+    traversals: int = 0
+    retraversals: int = 0
+    level1_visits: int = 0       # visits to level-1 pages (paper §4.3)
+    pages_visited: int = 0
+    key_comparisons: int = 0
+    bytes_copied: int = 0
+
+    # Logging.
+    log_records: int = 0
+    log_bytes: int = 0
+
+    # Rebuild structure.
+    top_actions: int = 0
+    rebuild_transactions: int = 0
+    leaf_pages_rebuilt: int = 0
+    new_pages_allocated: int = 0
+
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (thread-safe)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    # Alias used by hot paths for brevity.
+    bump = add
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if f.name != "_lock"
+            }
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Return counter deltas since a previous :meth:`snapshot`."""
+        now = self.snapshot()
+        return {name: now[name] - before.get(name, 0) for name in now}
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark iterations)."""
+        with self._lock:
+            for f in fields(self):
+                if f.name != "_lock":
+                    setattr(self, f.name, 0)
+
+
+class Timer:
+    """Context manager measuring wall and CPU time for a benchmark region."""
+
+    def __init__(self) -> None:
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall0
+        self.cpu_seconds = time.process_time() - self._cpu0
+
+
+GLOBAL_COUNTERS = Counters()
+"""Default counters used when an engine is built without an explicit bag."""

@@ -1,0 +1,116 @@
+"""Fragmentation analysis: when is an online rebuild worth it?
+
+The paper motivates the rebuild with two symptoms of index aging (§1):
+space utilization drops (more disk reads for the same keys) and the index
+declusters (range scans seek).  This module measures both with a single
+read-only pass over the leaf chain and turns them into a recommendation,
+including what the rebuild would buy:
+
+>>> report = analyze_index(index)
+>>> if report.should_rebuild:
+...     OnlineRebuild(index, RebuildConfig()).run()
+
+The analysis latches nothing and can run against a live index; its numbers
+are then approximate in the usual ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.storage.page import HEADER_SIZE, NO_PAGE, SLOT_OVERHEAD
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.btree.tree import BTree
+
+
+@dataclass
+class FragmentationReport:
+    """What one analysis pass over the leaf chain found."""
+
+    leaf_pages: int = 0
+    rows: int = 0
+    row_bytes: int = 0
+    utilization: float = 1.0
+    """Mean leaf fill fraction (the §6.4 precondition metric)."""
+    declustering: float = 1.0
+    """Mean |page-id jump| between key-adjacent leaves; 1.0 = sequential
+    on disk, larger = range scans seek farther (§6.1)."""
+    estimated_pages_after: int = 0
+    """Leaf pages a rebuild at the given fillfactor would produce."""
+    estimated_savings_fraction: float = 0.0
+    """Fraction of leaf pages (and of range-scan reads) a rebuild frees."""
+    should_rebuild: bool = False
+    reason: str = ""
+
+
+def analyze_index(
+    tree: BTree,
+    fillfactor: float = 1.0,
+    utilization_threshold: float = 0.6,
+    declustering_threshold: float = 4.0,
+) -> FragmentationReport:
+    """Walk the leaf chain once and produce a rebuild recommendation.
+
+    Recommends a rebuild when utilization fell below
+    ``utilization_threshold`` or the chain's declustering exceeds
+    ``declustering_threshold`` — both symptoms the paper's §1 names.
+    """
+    from repro.btree.verify import leftmost_leaf
+
+    ctx = tree.ctx
+    report = FragmentationReport()
+    capacity = ctx.page_size - HEADER_SIZE
+    page_id = leftmost_leaf(ctx, tree)
+    prev_id = None
+    fill_sum = 0.0
+    jump_sum = 0
+    while page_id != NO_PAGE:
+        page = ctx.buffer.fetch(page_id)
+        report.leaf_pages += 1
+        report.rows += page.nrows
+        report.row_bytes += sum(
+            SLOT_OVERHEAD + len(r) for r in page.rows
+        )
+        fill_sum += page.fill_fraction()
+        if prev_id is not None:
+            jump_sum += abs(page_id - prev_id)
+        prev_id = page_id
+        next_id = page.next_page
+        ctx.buffer.unpin(page_id)
+        page_id = next_id
+
+    if report.leaf_pages:
+        report.utilization = fill_sum / report.leaf_pages
+    if report.leaf_pages > 1:
+        report.declustering = jump_sum / (report.leaf_pages - 1)
+
+    budget = max(1, int(fillfactor * capacity))
+    report.estimated_pages_after = max(
+        1, -(-report.row_bytes // budget)
+    )
+    if report.leaf_pages:
+        report.estimated_savings_fraction = max(
+            0.0,
+            1.0 - report.estimated_pages_after / report.leaf_pages,
+        )
+
+    reasons = []
+    if report.leaf_pages >= 2 and report.utilization < utilization_threshold:
+        reasons.append(
+            f"utilization {report.utilization:.0%} below "
+            f"{utilization_threshold:.0%}"
+        )
+    if report.declustering > declustering_threshold:
+        reasons.append(
+            f"declustering {report.declustering:.1f} above "
+            f"{declustering_threshold:.1f}"
+        )
+    report.should_rebuild = bool(reasons)
+    report.reason = (
+        "; ".join(reasons)
+        if reasons
+        else "index is packed and clustered; rebuild would not help"
+    )
+    return report

@@ -1,0 +1,29 @@
+"""Storage substrate: pages, simulated disk, allocation, buffer pool."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import (
+    HEADER_SIZE,
+    NO_PAGE,
+    PAGE_SIZE_DEFAULT,
+    SLOT_OVERHEAD,
+    Page,
+    PageFlag,
+    PageType,
+)
+from repro.storage.page_manager import ChunkAllocator, PageManager, PageState
+
+__all__ = [
+    "BufferPool",
+    "ChunkAllocator",
+    "Disk",
+    "HEADER_SIZE",
+    "NO_PAGE",
+    "PAGE_SIZE_DEFAULT",
+    "Page",
+    "PageFlag",
+    "PageManager",
+    "PageState",
+    "PageType",
+    "SLOT_OVERHEAD",
+]

@@ -1,0 +1,249 @@
+"""Buffer pool with WAL enforcement and large-buffer I/O (§3, §6.3).
+
+The pool caches :class:`~repro.storage.page.Page` objects by page id with
+LRU replacement.  Two protocol points from the paper are load-bearing:
+
+* **WAL.**  Before a dirty page reaches disk, the log is flushed up to that
+  page's ``page_lsn``.  The engine installs the hook via
+  :meth:`BufferPool.set_wal_hook` once the log manager exists.
+* **Forced write before freeing old pages.**  At each rebuild transaction
+  boundary the new pages are flushed (:meth:`flush_pages`, which coalesces
+  contiguous ids into large physical I/Os) *before* the old pages become
+  available for fresh allocation (§3).  The keycopy log record can then omit
+  key contents, because redo can always re-read the source page.
+
+``large_io=True`` on :meth:`fetch` reads the whole io-size-aligned run
+containing the page in one physical call, modelling the paper's 16 KB
+buffer-pool reads of the old index.
+
+A simulated **crash** (:meth:`crash`) discards every frame without writing —
+the disk keeps only what was explicitly flushed, which is what recovery
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import BufferError_, StorageError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+
+class _Frame:
+    __slots__ = ("page", "dirty", "pin_count", "tick")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.dirty = False
+        self.pin_count = 0
+        self.tick = 0
+
+
+class BufferPool:
+    """LRU page cache over a :class:`Disk`."""
+
+    def __init__(
+        self,
+        disk: Disk,
+        capacity: int = 1024,
+        counters: Counters | None = None,
+    ) -> None:
+        if capacity < 8:
+            raise BufferError_("buffer pool needs at least 8 frames")
+        self.disk = disk
+        self.capacity = capacity
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self._frames: dict[int, _Frame] = {}
+        self._tick = 0
+        self._lock = threading.RLock()
+        self._wal_hook: Callable[[int], None] | None = None
+
+    def set_wal_hook(self, hook: Callable[[int], None]) -> None:
+        """Install ``flush_log_to(lsn)``, called before any dirty write."""
+        self._wal_hook = hook
+
+    # ------------------------------------------------------------------ fetch
+
+    def fetch(self, page_id: int, large_io: bool = False) -> Page:
+        """Pin and return the page, reading it from disk on a miss.
+
+        With ``large_io`` a miss reads the io-size-aligned run containing
+        ``page_id`` in one physical call and caches (unpinned) every page of
+        the run that exists on disk.
+        """
+        with self._lock:
+            self.counters.add("page_reads")
+            frame = self._frames.get(page_id)
+            if frame is None:
+                if large_io and self.disk.pages_per_io > 1:
+                    self._read_aligned_run(page_id)
+                    frame = self._frames.get(page_id)
+                if frame is None:
+                    frame = self._admit(Page.from_bytes(
+                        self.disk.read(page_id), self.disk.page_size
+                    ))
+            frame.pin_count += 1
+            self._touch(frame)
+            return frame.page
+
+    def new_page(self, page_id: int) -> Page:
+        """Create a pinned, dirty, empty page image for a fresh allocation.
+
+        A recycled page id may still be resident (its previous incarnation)
+        or have a stale image on disk.  The stale disk image is deliberately
+        *kept*: redo replays history in LSN order, and records that predate
+        the page's freeing must find the old incarnation to apply against
+        (their effects are later overwritten by this allocation's FORMAT).
+        """
+        with self._lock:
+            stale = self._frames.get(page_id)
+            if stale is not None:
+                if stale.pin_count > 0:
+                    raise BufferError_(
+                        f"page {page_id} is pinned; cannot reallocate"
+                    )
+                self._write_frame(page_id, stale)
+                del self._frames[page_id]
+            frame = self._admit(Page(page_id, self.disk.page_size))
+            frame.pin_count += 1
+            frame.dirty = True
+            self._touch(frame)
+            return frame.page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferError_(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
+
+    def mark_dirty(self, page_id: int) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferError_(f"page {page_id} is not resident")
+            frame.dirty = True
+
+    def is_resident(self, page_id: int) -> bool:
+        with self._lock:
+            return page_id in self._frames
+
+    def pin_count(self, page_id: int) -> int:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.pin_count if frame else 0
+
+    # ------------------------------------------------------------------ flush
+
+    def flush_page(self, page_id: int) -> None:
+        """Force one page to disk (WAL-first)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return
+            self._write_frame(page_id, frame)
+
+    def flush_pages(self, page_ids: list[int]) -> None:
+        """Force a set of pages to disk, batching contiguous ids (§3).
+
+        This is the rebuild's transaction-boundary force of its new pages;
+        the chunk allocator makes the ids contiguous, so the batch goes out
+        through large physical I/Os.
+        """
+        with self._lock:
+            images: dict[int, bytes] = {}
+            max_lsn = 0
+            dirty_frames = []
+            for pid in page_ids:
+                frame = self._frames.get(pid)
+                if frame is not None and frame.dirty:
+                    images[pid] = frame.page.to_bytes()
+                    max_lsn = max(max_lsn, frame.page.page_lsn)
+                    dirty_frames.append(frame)
+            if not images:
+                return
+            if self._wal_hook is not None:
+                self._wal_hook(max_lsn)
+            self.disk.write_many(images)
+            self.counters.add("page_writes", len(images))
+            for frame in dirty_frames:
+                frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Force every dirty resident page (checkpoint / clean shutdown)."""
+        with self._lock:
+            self.flush_pages(list(self._frames))
+
+    def drop_page(self, page_id: int) -> None:
+        """Evict a page without writing (its id was freed and recycled)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.pin_count > 0:
+                raise BufferError_(f"page {page_id} is pinned; cannot drop")
+            self._frames.pop(page_id, None)
+
+    def crash(self) -> None:
+        """Simulate a crash: lose every frame, flush nothing."""
+        with self._lock:
+            self._frames.clear()
+
+    # --------------------------------------------------------------- internals
+
+    def _touch(self, frame: _Frame) -> None:
+        self._tick += 1
+        frame.tick = self._tick
+
+    def _admit(self, page: Page) -> _Frame:
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        frame = _Frame(page)
+        self._frames[page.page_id] = frame
+        self._touch(frame)
+        return frame
+
+    def _evict_one(self) -> None:
+        victim_id = None
+        victim_tick = None
+        for pid, frame in self._frames.items():
+            if frame.pin_count == 0 and (
+                victim_tick is None or frame.tick < victim_tick
+            ):
+                victim_id, victim_tick = pid, frame.tick
+        if victim_id is None:
+            raise BufferError_(
+                f"buffer pool exhausted: all {self.capacity} frames pinned"
+            )
+        frame = self._frames[victim_id]
+        if frame.dirty:
+            self._write_frame(victim_id, frame)
+        del self._frames[victim_id]
+
+    def _write_frame(self, page_id: int, frame: _Frame) -> None:
+        if not frame.dirty:
+            return
+        if self._wal_hook is not None:
+            self._wal_hook(frame.page.page_lsn)
+        self.disk.write(page_id, frame.page.to_bytes())
+        self.counters.add("page_writes")
+        frame.dirty = False
+
+    def _read_aligned_run(self, page_id: int) -> None:
+        """Miss path for large_io: read the aligned run containing the page."""
+        ppio = self.disk.pages_per_io
+        start = ((page_id - 1) // ppio) * ppio + 1
+        images = self.disk.read_run(start, ppio)
+        admitted_target = False
+        for offset, image in enumerate(images):
+            pid = start + offset
+            if image is None or pid in self._frames:
+                continue
+            self._admit(Page.from_bytes(image, self.disk.page_size))
+            if pid == page_id:
+                admitted_target = True
+        if not admitted_target and page_id not in self._frames:
+            raise StorageError(f"page {page_id} was never written")

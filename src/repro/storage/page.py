@@ -1,0 +1,362 @@
+"""Byte-accurate slotted index pages.
+
+The paper's experiments use 2 KB pages (§6.4); every capacity decision in the
+engine (when a leaf splits, how many new pages a rebuild top action
+allocates, whether a level-1 insert fits on the left sibling) is driven by
+the *exact* byte accounting implemented here:
+
+    used = HEADER_SIZE + len(side_key) + sum(SLOT_OVERHEAD + len(row))
+
+Rows are opaque byte strings at this layer; :mod:`repro.btree.node` gives
+them leaf/nonleaf structure.  A page serializes to exactly ``page_size``
+bytes and round-trips through :meth:`Page.to_bytes` /
+:meth:`Page.from_bytes`, which is what the simulated disk stores and what
+crash recovery re-reads.
+
+Header fields mirror what the paper's protocol needs:
+
+* ``flags`` carries the SPLIT / SHRINK / OLDPGOFSPLIT bits (§2.2-§2.4),
+* ``side_key`` / ``side_page`` hold the side entry ``[K, N]`` that a split
+  publishes on the old page while the split propagates (§2.3),
+* ``page_lsn`` is the page timestamp used for redo idempotence (§4.1.2),
+* ``prev_page`` / ``next_page`` implement the doubly linked leaf level.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.errors import PageFormatError, PageFullError
+
+PAGE_SIZE_DEFAULT = 2048
+HEADER_SIZE = 40
+SLOT_OVERHEAD = 2  # per-row slot-table cost, as in a real slotted page
+NO_PAGE = 0        # null page id; real ids start at 1
+
+_HEADER_FMT = "<HIHBBBBHIHIIQHH"
+_HEADER_MAGIC = 0xB7EE
+assert struct.calcsize(_HEADER_FMT) == 40  # == HEADER_SIZE exactly
+
+
+class PageType(enum.IntEnum):
+    """What a page currently holds."""
+
+    RAW = 0       # freshly allocated / freed; no index content
+    LEAF = 1      # index leaf: rows are (key, rowid) pairs
+    NONLEAF = 2   # index internal node: rows are (separator, child) entries
+
+
+class PageFlag(enum.IntFlag):
+    """Protocol bits from §2.2-§2.4 of the paper.
+
+    SPLIT blocks writers (but not readers) until the top action that set it
+    completes.  SHRINK blocks both.  OLDPGOFSPLIT marks the old page of a
+    split whose side entry is valid.  SHRINKRANGE is the paper's §6.2
+    enhancement: the SHRINK bit blocks only traversals whose search key
+    falls inside the page's published ``[blocked_lo, blocked_hi)`` range —
+    the positions of the index entries the rebuild is deleting.
+    """
+
+    NONE = 0
+    SPLIT = 1
+    SHRINK = 2
+    OLDPGOFSPLIT = 4
+    SHRINKRANGE = 8
+
+
+class Page:
+    """An in-memory page image with exact on-disk size accounting.
+
+    ``rows`` is a list of opaque byte strings kept in slot order.  Mutators
+    raise :class:`PageFullError` when the slotted layout would overflow
+    ``page_size``; callers (split, rebuild copy phase) treat that as the
+    signal to allocate a new page.
+    """
+
+    __slots__ = (
+        "page_id",
+        "index_id",
+        "page_type",
+        "level",
+        "flags",
+        "prev_page",
+        "next_page",
+        "page_lsn",
+        "side_page",
+        "side_key",
+        "blocked_lo",
+        "blocked_hi",
+        "rows",
+        "page_size",
+    )
+
+    def __init__(self, page_id: int, page_size: int = PAGE_SIZE_DEFAULT) -> None:
+        self.page_id = page_id
+        self.index_id = 0
+        self.page_type = PageType.RAW
+        self.level = 0
+        self.flags = PageFlag.NONE
+        self.prev_page = NO_PAGE
+        self.next_page = NO_PAGE
+        self.page_lsn = 0
+        self.side_page = NO_PAGE
+        self.side_key = b""
+        self.blocked_lo = b""
+        self.blocked_hi = b""
+        self.rows: list[bytes] = []
+        self.page_size = page_size
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def used_bytes(self) -> int:
+        """Exact bytes this page would occupy on disk, excluding padding."""
+        rows = sum(SLOT_OVERHEAD + len(r) for r in self.rows)
+        side = len(self.side_key) + len(self.blocked_lo) + len(self.blocked_hi)
+        return HEADER_SIZE + side + rows
+
+    @property
+    def free_bytes(self) -> int:
+        return self.page_size - self.used_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Row space available on an empty page (header excluded)."""
+        return self.page_size - HEADER_SIZE
+
+    def fits(self, row: bytes, extra_rows: int = 1) -> bool:
+        """Would ``extra_rows`` copies of ``row`` fit right now?"""
+        return self.free_bytes >= extra_rows * (SLOT_OVERHEAD + len(row))
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def fill_fraction(self) -> float:
+        """Fraction of row space in use (0.0 on an empty page)."""
+        used = self.used_bytes - HEADER_SIZE
+        return used / (self.page_size - HEADER_SIZE)
+
+    # ------------------------------------------------------------------ flags
+
+    def has_flag(self, flag: PageFlag) -> bool:
+        return bool(self.flags & flag)
+
+    def set_flag(self, flag: PageFlag) -> None:
+        self.flags |= flag
+
+    def clear_flag(self, flag: PageFlag) -> None:
+        self.flags &= ~flag
+
+    def set_side_entry(self, key: bytes, page_id: int) -> None:
+        """Publish the split side entry ``[key, page_id]`` (§2.3).
+
+        Valid only while OLDPGOFSPLIT is set; the caller sets the flag.
+        """
+        if HEADER_SIZE + len(key) + sum(
+            SLOT_OVERHEAD + len(r) for r in self.rows
+        ) > self.page_size:
+            raise PageFullError(
+                f"side entry of {len(key)} bytes does not fit on page "
+                f"{self.page_id}"
+            )
+        self.side_key = key
+        self.side_page = page_id
+
+    def clear_side_entry(self) -> None:
+        self.side_key = b""
+        self.side_page = NO_PAGE
+        self.clear_flag(PageFlag.OLDPGOFSPLIT)
+
+    def set_blocked_range(self, lo: bytes, hi: bytes) -> None:
+        """Publish the §6.2 delete-range side entry ``[lo, hi)``.
+
+        An empty ``lo`` means minus-infinity, an empty ``hi`` means
+        plus-infinity (so an all-empty range blocks everything, which is
+        the plain-SHRINK behavior).  Valid only while SHRINKRANGE is set;
+        the caller sets the flag.
+        """
+        grow = len(lo) + len(hi) - len(self.blocked_lo) - len(self.blocked_hi)
+        if grow > self.free_bytes:
+            raise PageFullError(
+                f"blocked range does not fit on page {self.page_id}"
+            )
+        self.blocked_lo = lo
+        self.blocked_hi = hi
+
+    def clear_blocked_range(self) -> None:
+        self.blocked_lo = b""
+        self.blocked_hi = b""
+        self.clear_flag(PageFlag.SHRINKRANGE)
+
+    def blocks_unit(self, unit: bytes) -> bool:
+        """Does this page's SHRINK state block a traversal for ``unit``?
+
+        Plain SHRINK blocks everything; with SHRINKRANGE only units inside
+        the published ``[blocked_lo, blocked_hi)`` range are blocked.
+        """
+        if not self.has_flag(PageFlag.SHRINK):
+            return False
+        if not self.has_flag(PageFlag.SHRINKRANGE):
+            return True
+        if self.blocked_lo and unit < self.blocked_lo:
+            return False
+        if self.blocked_hi and unit >= self.blocked_hi:
+            return False
+        return True
+
+    # ------------------------------------------------------------------- rows
+
+    def row(self, pos: int) -> bytes:
+        return self.rows[pos]
+
+    def insert_row(self, pos: int, data: bytes) -> None:
+        """Insert ``data`` at slot ``pos``, shifting later slots right."""
+        if not self.fits(data):
+            raise PageFullError(
+                f"row of {len(data)} bytes does not fit on page "
+                f"{self.page_id} (free={self.free_bytes})"
+            )
+        if not 0 <= pos <= len(self.rows):
+            raise PageFormatError(
+                f"insert position {pos} out of range on page {self.page_id}"
+            )
+        self.rows.insert(pos, data)
+
+    def append_row(self, data: bytes) -> None:
+        self.insert_row(len(self.rows), data)
+
+    def delete_row(self, pos: int) -> bytes:
+        if not 0 <= pos < len(self.rows):
+            raise PageFormatError(
+                f"delete position {pos} out of range on page {self.page_id}"
+            )
+        return self.rows.pop(pos)
+
+    def delete_rows(self, lo: int, hi: int) -> list[bytes]:
+        """Delete slots ``lo:hi`` and return them (rebuild's delete phase)."""
+        if not 0 <= lo <= hi <= len(self.rows):
+            raise PageFormatError(
+                f"delete range [{lo}, {hi}) out of range on page {self.page_id}"
+            )
+        removed = self.rows[lo:hi]
+        del self.rows[lo:hi]
+        return removed
+
+    def replace_row(self, pos: int, data: bytes) -> bytes:
+        """Replace slot ``pos``; used by UPDATE propagation entries."""
+        old = self.rows[pos]
+        grow = len(data) - len(old)
+        if grow > self.free_bytes:
+            raise PageFullError(
+                f"replacing row {pos} grows page {self.page_id} past capacity"
+            )
+        self.rows[pos] = data
+        return old
+
+    # ------------------------------------------------------------ persistence
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly ``page_size`` bytes."""
+        if self.used_bytes > self.page_size:
+            raise PageFormatError(
+                f"page {self.page_id} overflows: {self.used_bytes} bytes"
+            )
+        header = struct.pack(
+            _HEADER_FMT,
+            _HEADER_MAGIC,
+            self.page_id,
+            self.index_id,
+            int(self.page_type),
+            self.level,
+            int(self.flags),
+            0,  # pad
+            len(self.rows),
+            self.side_page,
+            len(self.side_key),
+            self.prev_page,
+            self.next_page,
+            self.page_lsn,
+            len(self.blocked_lo),
+            len(self.blocked_hi),
+        )
+        parts = [
+            header,
+            self.side_key,
+            self.blocked_lo,
+            self.blocked_hi,
+        ]
+        for r in self.rows:
+            parts.append(struct.pack("<H", len(r)))
+            parts.append(r)
+        body = b"".join(parts)
+        return body + b"\x00" * (self.page_size - len(body))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: int = PAGE_SIZE_DEFAULT) -> "Page":
+        """Parse a page image produced by :meth:`to_bytes`."""
+        if len(data) != page_size:
+            raise PageFormatError(
+                f"expected {page_size}-byte image, got {len(data)}"
+            )
+        (
+            magic,
+            page_id,
+            index_id,
+            page_type,
+            level,
+            flags,
+            _pad,
+            nrows,
+            side_page,
+            side_key_len,
+            prev_page,
+            next_page,
+            page_lsn,
+            blocked_lo_len,
+            blocked_hi_len,
+        ) = struct.unpack_from(_HEADER_FMT, data)
+        if magic != _HEADER_MAGIC:
+            raise PageFormatError(f"bad page magic 0x{magic:04x}")
+        page = cls(page_id, page_size)
+        page.index_id = index_id
+        page.page_type = PageType(page_type)
+        page.level = level
+        page.flags = PageFlag(flags)
+        page.prev_page = prev_page
+        page.next_page = next_page
+        page.page_lsn = page_lsn
+        page.side_page = side_page
+        off = HEADER_SIZE
+        page.side_key = bytes(data[off : off + side_key_len])
+        off += side_key_len
+        page.blocked_lo = bytes(data[off : off + blocked_lo_len])
+        off += blocked_lo_len
+        page.blocked_hi = bytes(data[off : off + blocked_hi_len])
+        off += blocked_hi_len
+        for _ in range(nrows):
+            (rlen,) = struct.unpack_from("<H", data, off)
+            off += 2
+            page.rows.append(bytes(data[off : off + rlen]))
+            off += rlen
+        if off > page_size:
+            raise PageFormatError(
+                f"page {page_id} rows overflow the {page_size}-byte image"
+            )
+        return page
+
+    def copy(self) -> "Page":
+        """Deep copy (used by the buffer pool to snapshot for flushing)."""
+        return Page.from_bytes(self.to_bytes(), self.page_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Page {self.page_id} {self.page_type.name} L{self.level} "
+            f"rows={self.nrows} flags={self.flags!r} "
+            f"prev={self.prev_page} next={self.next_page}>"
+        )

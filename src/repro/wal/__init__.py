@@ -1,0 +1,26 @@
+"""Write-ahead logging and crash recovery."""
+
+from repro.wal.apply import ApplyContext, redo_record, undo_record
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    RECORD_OVERHEAD,
+    ChainLink,
+    KeyCopyEntry,
+    LogRecord,
+    RecordType,
+)
+from repro.wal.recovery import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "ApplyContext",
+    "ChainLink",
+    "KeyCopyEntry",
+    "LogManager",
+    "LogRecord",
+    "RECORD_OVERHEAD",
+    "RecordType",
+    "RecoveryManager",
+    "RecoveryReport",
+    "redo_record",
+    "undo_record",
+]

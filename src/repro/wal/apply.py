@@ -1,0 +1,384 @@
+"""Physical redo and undo of log records.
+
+This module is the single place that knows how each record type changes a
+page, shared by runtime rollback (:meth:`TransactionManager.rollback_to`)
+and crash recovery (:mod:`repro.wal.recovery`).
+
+Redo follows the ARIES page-timestamp rule: a record is re-applied to a page
+iff the page's ``page_lsn`` is older than the record's LSN (a record's "new
+timestamp" is its own LSN).  KEYCOPY redo re-reads the *source* pages for
+the key bytes — the paper's §3 flush-new-before-free-old discipline is what
+makes that sound — and checks the timestamp of each *target* page
+independently, since a crash can land between the forced writes of two
+targets.
+
+Undo is strictly physical.  That is sufficient here because only records of
+*incomplete* top actions and single-operation user transactions are ever
+undone, and the pages they touched are still pinned down by the top action's
+address locks / SPLIT / SHRINK bits at the time of a runtime rollback, or
+frozen by the crash itself.  Undo verifies what it removes and raises
+:class:`~repro.errors.RecoveryError` on any mismatch rather than guessing.
+Undo stamps the pages it modifies with the LSN of the compensation record
+written for the undo, so that a crash during (or after) rollback replays
+CLRs idempotently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RecoveryError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import NO_PAGE, Page, PageType
+from repro.storage.page_manager import PageManager, PageState
+from repro.wal.records import LEAF_ROW_FLAG, LogRecord, RecordType
+
+
+@dataclass
+class ApplyContext:
+    """Everything record application needs to touch pages and state.
+
+    ``index_roots`` (index id → root page id) enables *logical* undo of
+    leaf-level inserts/deletes: a completed split or rebuild top action may
+    have relocated the row since it was logged, making its recorded slot
+    position meaningless — the ARIES-IM situation.  Undo then re-locates
+    the row by key from the index root.  The dict is shared with (and kept
+    current by) the engine's catalog.
+    """
+
+    buffer: BufferPool
+    page_manager: PageManager
+    index_roots: dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.index_roots is None:
+            self.index_roots = {}
+
+
+@contextlib.contextmanager
+def _page_for_redo(
+    page_id: int, lsn: int, ctx: ApplyContext
+) -> Iterator[Page | None]:
+    """Yield the page if the record at ``lsn`` still needs redo, else None.
+
+    On a yield of a real page the body applies the change; the page is then
+    stamped with ``lsn`` and unpinned dirty.
+    """
+    page = ctx.buffer.fetch(page_id)
+    applied = False
+    try:
+        if page.page_lsn >= lsn:
+            yield None
+        else:
+            yield page
+            page.page_lsn = lsn
+            applied = True
+    finally:
+        ctx.buffer.unpin(page_id, dirty=applied)
+
+
+# --------------------------------------------------------------------- redo
+
+
+def redo_record(rec: LogRecord, ctx: ApplyContext) -> None:
+    """Re-apply ``rec`` if its effects did not reach the page image."""
+    t = rec.type
+    if t is RecordType.ALLOC:
+        _redo_alloc(rec, ctx)
+    elif t is RecordType.ALLOCRUN:
+        for i, pid in enumerate(rec.page_ids):
+            prev = rec.page_ids[i - 1] if i > 0 else rec.prev_page
+            nxt = (
+                rec.page_ids[i + 1]
+                if i + 1 < len(rec.page_ids)
+                else rec.next_page
+            )
+            _redo_fresh_page(rec, pid, prev, nxt, ctx)
+    elif t is RecordType.DEALLOC:
+        for pid in rec.page_ids or [rec.page_id]:
+            ctx.page_manager.force_state(pid, PageState.DEALLOCATED)
+    elif t in (RecordType.INSERT, RecordType.BATCHINSERT):
+        with _page_for_redo(rec.page_id, rec.lsn, ctx) as page:
+            if page is not None:
+                for i, row in enumerate(rec.rows):
+                    page.insert_row(rec.pos + i, row)
+    elif t in (RecordType.DELETE, RecordType.BATCHDELETE):
+        with _page_for_redo(rec.page_id, rec.lsn, ctx) as page:
+            if page is not None:
+                page.delete_rows(rec.pos, rec.pos + len(rec.rows))
+    elif t is RecordType.CHANGEPREVLINK:
+        with _page_for_redo(rec.page_id, rec.lsn, ctx) as page:
+            if page is not None:
+                page.prev_page = rec.new_prev
+    elif t is RecordType.CHANGENEXTLINK:
+        with _page_for_redo(rec.page_id, rec.lsn, ctx) as page:
+            if page is not None:
+                page.next_page = rec.new_next
+    elif t is RecordType.FORMAT:
+        with _page_for_redo(rec.page_id, rec.lsn, ctx) as page:
+            if page is not None:
+                page.page_type = PageType(rec.page_type)
+                page.level = rec.level
+                page.prev_page = rec.prev_page
+                page.next_page = rec.next_page
+    elif t is RecordType.KEYCOPY:
+        _redo_keycopy(rec, ctx)
+    elif t is RecordType.CLR:
+        _redo_clr(rec, ctx)
+    # TXN_*, NTA_*, CHECKPOINT have no page effects.
+
+
+def _redo_alloc(rec: LogRecord, ctx: ApplyContext) -> None:
+    """Re-create a freshly allocated page and its initial header."""
+    _redo_fresh_page(rec, rec.page_id, rec.prev_page, rec.next_page, ctx)
+
+
+def _redo_fresh_page(
+    rec: LogRecord, page_id: int, prev: int, nxt: int, ctx: ApplyContext
+) -> None:
+    ctx.page_manager.force_state(page_id, PageState.ALLOCATED)
+    existing_ts: int | None = None
+    if ctx.buffer.is_resident(page_id) or ctx.buffer.disk.exists(page_id):
+        page = ctx.buffer.fetch(page_id)
+        existing_ts = page.page_lsn
+        ctx.buffer.unpin(page_id)
+    if existing_ts is not None and existing_ts >= rec.lsn:
+        return  # this incarnation already on disk / in buffer
+    if ctx.buffer.is_resident(page_id):
+        ctx.buffer.drop_page(page_id)
+    fresh = ctx.buffer.new_page(page_id)
+    fresh.page_type = PageType(rec.page_type)
+    fresh.level = rec.level
+    fresh.prev_page = prev
+    fresh.next_page = nxt
+    fresh.index_id = rec.index_id
+    fresh.page_lsn = rec.lsn
+    ctx.buffer.unpin(page_id, dirty=True)
+
+
+def _redo_keycopy(rec: LogRecord, ctx: ApplyContext) -> None:
+    """Per-target redo of a multipage copy (paper §4.1.2).
+
+    For each target whose timestamp shows the copy is missing, re-read the
+    key bytes from the source pages and append them in the original order.
+    """
+    stale_targets = set()
+    for page_id, old_ts in rec.target_ts:
+        page = ctx.buffer.fetch(page_id)
+        try:
+            if page.page_lsn < rec.lsn:
+                stale_targets.add(page_id)
+                if page.page_lsn != old_ts:
+                    raise RecoveryError(
+                        f"keycopy redo: target {page_id} has ts "
+                        f"{page.page_lsn}, expected {old_ts} or >= {rec.lsn}"
+                    )
+        finally:
+            ctx.buffer.unpin(page_id)
+    if not stale_targets:
+        return
+    for entry in rec.entries:
+        if entry.tgt_page not in stale_targets:
+            continue
+        src = ctx.buffer.fetch(entry.src_page)
+        tgt = ctx.buffer.fetch(entry.tgt_page)
+        try:
+            for pos in range(entry.first_pos, entry.last_pos + 1):
+                tgt.append_row(src.row(pos))
+        finally:
+            ctx.buffer.unpin(entry.src_page)
+            ctx.buffer.unpin(entry.tgt_page, dirty=True)
+    if rec.pp_page != NO_PAGE and rec.pp_page in stale_targets:
+        pp = ctx.buffer.fetch(rec.pp_page)
+        pp.next_page = rec.pp_new_next
+        ctx.buffer.unpin(rec.pp_page, dirty=True)
+    for link in rec.links:
+        if link.page_id not in stale_targets:
+            continue
+        page = ctx.buffer.fetch(link.page_id)
+        page.prev_page = link.prev_page
+        page.next_page = link.next_page
+        ctx.buffer.unpin(link.page_id, dirty=True)
+    for page_id in stale_targets:
+        page = ctx.buffer.fetch(page_id)
+        page.page_lsn = rec.lsn
+        ctx.buffer.unpin(page_id, dirty=True)
+
+
+def _redo_clr(rec: LogRecord, ctx: ApplyContext) -> None:
+    """Redo a compensation record by re-applying the inverse it recorded.
+
+    The CLR stores the LSN of the record it undid; recovery resolves that
+    record from the (durable, earlier) log and stashes it in
+    ``rec.resolved_undone`` before calling redo.
+    """
+    original = rec.resolved_undone
+    if original is None:
+        raise RecoveryError(
+            f"CLR at lsn {rec.lsn} lacks its resolved original record"
+        )
+    apply_inverse(original, ctx, stamp_lsn=rec.lsn, ts_checked=True)
+
+
+# --------------------------------------------------------------------- undo
+
+
+def undo_record(rec: LogRecord, ctx: ApplyContext, clr_lsn: int) -> None:
+    """Apply the inverse of ``rec`` (runtime rollback / crash undo).
+
+    ``clr_lsn`` is the LSN of the compensation record already written for
+    this undo; modified pages are stamped with it.
+    """
+    apply_inverse(rec, ctx, stamp_lsn=clr_lsn, ts_checked=False)
+
+
+def apply_inverse(
+    rec: LogRecord,
+    ctx: ApplyContext,
+    stamp_lsn: int,
+    ts_checked: bool,
+) -> None:
+    """Shared body of undo and CLR-redo.
+
+    ``ts_checked`` makes the application conditional on the page timestamp
+    (needed when re-running CLRs during crash redo: a page already stamped
+    at or past the CLR's LSN was undone before the crash).
+    """
+    t = rec.type
+    if t in (RecordType.ALLOC, RecordType.ALLOCRUN):
+        ids = rec.page_ids if t is RecordType.ALLOCRUN else [rec.page_id]
+        for pid in ids:
+            if ctx.page_manager.state(pid) is PageState.ALLOCATED:
+                ctx.page_manager.force_state(pid, PageState.FREE)
+            if ctx.buffer.is_resident(pid):
+                ctx.buffer.drop_page(pid)
+        return
+    if t is RecordType.DEALLOC:
+        for pid in rec.page_ids or [rec.page_id]:
+            ctx.page_manager.force_state(pid, PageState.ALLOCATED)
+        return
+    if t is RecordType.KEYCOPY:
+        _undo_keycopy(rec, ctx, stamp_lsn, ts_checked)
+        return
+
+    if rec.flags & LEAF_ROW_FLAG:
+        # Leaf-level user rows may have moved since (completed splits and
+        # rebuild top actions are never undone): undo logically, by key.
+        _logical_leaf_inverse(rec, ctx, stamp_lsn)
+        return
+    page = ctx.buffer.fetch(rec.page_id)
+    dirtied = False
+    try:
+        if ts_checked and page.page_lsn >= stamp_lsn:
+            return
+        if t in (RecordType.INSERT, RecordType.BATCHINSERT):
+            removed = page.delete_rows(rec.pos, rec.pos + len(rec.rows))
+            if removed != rec.rows:
+                raise RecoveryError(
+                    f"undo of insert on page {rec.page_id}: rows at position "
+                    f"{rec.pos} do not match the log record"
+                )
+        elif t in (RecordType.DELETE, RecordType.BATCHDELETE):
+            for i, row in enumerate(rec.rows):
+                page.insert_row(rec.pos + i, row)
+        elif t is RecordType.CHANGEPREVLINK:
+            page.prev_page = rec.old_prev
+        elif t is RecordType.CHANGENEXTLINK:
+            page.next_page = rec.old_next
+        elif t is RecordType.FORMAT:
+            old = rec.old_format or (0, 0, 0, 0)
+            page.page_type = PageType(old[0])
+            page.level = old[1]
+            page.prev_page = old[2]
+            page.next_page = old[3]
+        else:
+            raise RecoveryError(f"cannot undo record type {t.name}")
+        page.page_lsn = stamp_lsn
+        dirtied = True
+    finally:
+        ctx.buffer.unpin(rec.page_id, dirty=dirtied)
+
+
+def _logical_leaf_inverse(
+    rec: LogRecord, ctx: ApplyContext, stamp_lsn: int
+) -> None:
+    """Undo a leaf insert/delete by key rather than by slot position.
+
+    Content-based and therefore naturally idempotent (safe for CLR redo):
+    an insert is undone by removing the unit *if present*, a delete by
+    re-inserting it *if absent*.  The row is located by descending from
+    the index root — the tree is structurally consistent at undo time
+    because completed top actions were redone, never undone.
+    """
+    from repro.btree import node as _node
+
+    unit = rec.rows[0]
+    root = ctx.index_roots.get(rec.index_id)
+    if root is None:
+        raise RecoveryError(
+            f"logical undo needs the root of index {rec.index_id}, "
+            "which is not in the apply context"
+        )
+    page_id = root
+    while True:
+        page = ctx.buffer.fetch(page_id)
+        if page.page_type is PageType.LEAF:
+            break
+        _pos, child = _node.child_search(page, unit, ctx.buffer.counters)
+        ctx.buffer.unpin(page_id)
+        page_id = child
+    try:
+        pos, found = _node.leaf_search(page, unit, ctx.buffer.counters)
+        if rec.type is RecordType.INSERT:
+            if found:
+                page.delete_row(pos)
+        else:
+            if not found:
+                # A full page here would need an undo-time split (ARIES-IM
+                # system transaction); out of scope — surfaced loudly.
+                page.insert_row(pos, unit)
+        page.page_lsn = max(page.page_lsn, stamp_lsn)
+    finally:
+        ctx.buffer.unpin(page_id, dirty=True)
+
+
+def _undo_keycopy(
+    rec: LogRecord,
+    ctx: ApplyContext,
+    stamp_lsn: int,
+    ts_checked: bool,
+) -> None:
+    """Remove appended rows from every target and restore PP's next link.
+
+    New pages are torn down by the following ALLOC undos; NP's prev link is
+    restored by its own CHANGEPREVLINK undo.
+    """
+    per_target: dict[int, int] = {}
+    for entry in rec.entries:
+        per_target[entry.tgt_page] = per_target.get(entry.tgt_page, 0) + entry.count
+    for page_id, _old_ts in rec.target_ts:
+        if ctx.page_manager.state(page_id) is not PageState.ALLOCATED:
+            continue
+        page = ctx.buffer.fetch(page_id)
+        dirtied = False
+        try:
+            if ts_checked and page.page_lsn >= stamp_lsn:
+                continue
+            if page.page_lsn < rec.lsn:
+                continue  # this target never received the copy
+            count = per_target.get(page_id, 0)
+            if count:
+                if page.nrows < count:
+                    raise RecoveryError(
+                        f"keycopy undo: target {page_id} has {page.nrows} "
+                        f"rows, expected at least {count}"
+                    )
+                page.delete_rows(page.nrows - count, page.nrows)
+            if page_id == rec.pp_page:
+                page.next_page = rec.pp_old_next
+            page.page_lsn = stamp_lsn
+            dirtied = True
+        finally:
+            ctx.buffer.unpin(page_id, dirty=dirtied)

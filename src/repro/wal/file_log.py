@@ -1,0 +1,110 @@
+"""A file-backed log manager: flushed records persist across restarts.
+
+The in-memory :class:`~repro.wal.log.LogManager` keeps the whole record
+stream in RAM; this subclass additionally appends every *flushed* record to
+a log file (records are self-framing — the header carries the total
+length) and fsyncs at each flush point, so ``flush_to`` really is the
+durability barrier.  Opening an existing file replays its records into the
+in-memory structures with every record already marked durable; crash
+recovery then proceeds exactly as with the in-memory log.
+
+Truncation rewrites the file (the retained suffix is small by
+construction — it is what a checkpoint just bounded).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.errors import LogFormatError, WALError
+from repro.stats.counters import Counters
+from repro.wal.log import LogManager
+from repro.wal.records import RECORD_OVERHEAD, LogRecord
+
+_LEN_OFFSET = 4  # header layout: magic u16, type u8, flags u8, length u32
+
+
+class FileLogManager(LogManager):
+    """LogManager whose durable prefix lives in a file."""
+
+    def __init__(self, path: str, counters: Counters | None = None) -> None:
+        super().__init__(counters=counters)
+        self.path = path
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._replay_existing()
+
+    # ----------------------------------------------------------------- replay
+
+    def _replay_existing(self) -> None:
+        """Load the file's records as the durable in-memory prefix."""
+        size = os.fstat(self._fd).st_size
+        blob = os.pread(self._fd, size, 0)
+        offset = 0
+        while offset + RECORD_OVERHEAD <= len(blob):
+            (length,) = struct.unpack_from("<I", blob, offset + _LEN_OFFSET)
+            if length < RECORD_OVERHEAD or offset + length > len(blob):
+                break  # torn tail from a crash mid-append: discard
+            data = blob[offset : offset + length]
+            try:
+                record = LogRecord.decode(data)
+            except LogFormatError:
+                break
+            self._records.append(data)
+            self._offsets.append(record.lsn)
+            self.bytes_by_type[record.type] += len(data)
+            self.count_by_type[record.type] += 1
+            offset += length
+        if self._records:
+            self._next_lsn = self._offsets[-1] + len(self._records[-1])
+        self._flushed_upto = len(self._records)
+        self._file_size = offset
+        if offset != size:
+            os.ftruncate(self._fd, offset)  # drop the torn tail
+
+    # ------------------------------------------------------------------ flush
+
+    def flush_to(self, lsn: int) -> None:
+        with self._lock:
+            start = self._flushed_upto
+            while (
+                self._flushed_upto < len(self._records)
+                and self._offsets[self._flushed_upto] <= lsn
+            ):
+                self._flushed_upto += 1
+            newly = self._records[start : self._flushed_upto]
+            if newly:
+                blob = b"".join(newly)
+                os.pwrite(self._fd, blob, self._file_size)
+                self._file_size += len(blob)
+                os.fsync(self._fd)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            if self._records:
+                last = self._offsets[-1]
+            else:
+                return
+        self.flush_to(last)
+
+    # --------------------------------------------------------------- truncate
+
+    def truncate_before(self, lsn: int) -> int:
+        with self._lock:
+            dropped = super().truncate_before(lsn)
+            if dropped:
+                blob = b"".join(self._records[: self._flushed_upto])
+                os.pwrite(self._fd, blob, 0)
+                os.ftruncate(self._fd, len(blob))
+                os.fsync(self._fd)
+                self._file_size = len(blob)
+            return dropped
+
+    # ------------------------------------------------------------------ close
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd >= 0:
+                os.fsync(self._fd)
+                os.close(self._fd)
+                self._fd = -1

@@ -1,0 +1,188 @@
+"""The log manager: append, flush, scan, and per-type accounting.
+
+LSNs are byte offsets into the log stream, so ``lsn2 - lsn1`` is log space —
+the quantity Table 1 reports.  The tail of the log past ``flushed_lsn`` is
+volatile: a simulated crash discards it, exactly like losing the log buffer.
+
+Accounting is kept per record type (bytes and counts) so the Table 1 bench
+can print the breakdown the paper discusses in §4.3 (how batching amortizes
+the 60-byte record overhead).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Callable, Iterator
+
+from repro.errors import WALError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+from repro.wal.records import LogRecord, RecordType
+
+
+class LogManager:
+    """An append-only, crash-truncatable record log."""
+
+    def __init__(self, counters: Counters | None = None) -> None:
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self._records: list[bytes] = []
+        self._offsets: list[int] = []     # lsn of each record
+        self._next_lsn = 1                # byte offset; 0 means "no record"
+        self._flushed_upto = 0            # index into _records: all < are durable
+        self._lock = threading.RLock()
+        self.bytes_by_type: dict[RecordType, int] = defaultdict(int)
+        self.count_by_type: dict[RecordType, int] = defaultdict(int)
+        self._flush_listener: Callable[[int], None] | None = None
+
+    # ----------------------------------------------------------------- append
+
+    def append(self, record: LogRecord) -> int:
+        """Assign an LSN, encode, and buffer the record; returns the LSN."""
+        with self._lock:
+            record.lsn = self._next_lsn
+            data = record.encode()
+            self._records.append(data)
+            self._offsets.append(record.lsn)
+            self._next_lsn += len(data)
+            self.bytes_by_type[record.type] += len(data)
+            self.count_by_type[record.type] += 1
+            self.counters.add("log_records")
+            self.counters.add("log_bytes", len(data))
+            return record.lsn
+
+    @property
+    def next_lsn(self) -> int:
+        with self._lock:
+            return self._next_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        """LSN up to which (exclusive of later records) the log is durable."""
+        with self._lock:
+            if self._flushed_upto == 0:
+                return 0
+            return (
+                self._offsets[self._flushed_upto - 1]
+                + len(self._records[self._flushed_upto - 1])
+            )
+
+    # ------------------------------------------------------------------ flush
+
+    def flush_to(self, lsn: int) -> None:
+        """Make every record with ``record.lsn <= lsn`` durable (WAL hook)."""
+        with self._lock:
+            while (
+                self._flushed_upto < len(self._records)
+                and self._offsets[self._flushed_upto] <= lsn
+            ):
+                self._flushed_upto += 1
+
+    def flush_all(self) -> None:
+        with self._lock:
+            self._flushed_upto = len(self._records)
+
+    # ------------------------------------------------------------------- scan
+
+    def scan(self, from_lsn: int = 0, durable_only: bool = False) -> Iterator[LogRecord]:
+        """Decode records in LSN order, optionally only the durable prefix."""
+        with self._lock:
+            upto = self._flushed_upto if durable_only else len(self._records)
+            items = list(zip(self._offsets[:upto], self._records[:upto]))
+        for lsn, data in items:
+            if lsn >= from_lsn:
+                yield LogRecord.decode(data)
+
+    def record_at(self, lsn: int) -> LogRecord:
+        """Random-access decode of the record starting at ``lsn``."""
+        with self._lock:
+            lo, hi = 0, len(self._offsets)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._offsets[mid] < lsn:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo >= len(self._offsets) or self._offsets[lo] != lsn:
+                raise WALError(f"no log record at lsn {lsn}")
+            return LogRecord.decode(self._records[lo])
+
+    # --------------------------------------------------------------- truncate
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop the durable prefix of records with ``record.lsn < lsn``.
+
+        Returns how many records were dropped.  The caller (the engine's
+        checkpoint) is responsible for choosing a safe ``lsn``: at most
+        the latest checkpoint's LSN and no later than the begin LSN of the
+        oldest active transaction.  This is the operational contrast with
+        sidefile reorganization schemes, which pin the log for the whole
+        reorg (§7 on [SBC97]); here rebuild transactions are short, so
+        the log can be truncated at every checkpoint even mid-rebuild.
+        """
+        with self._lock:
+            keep_from = 0
+            while (
+                keep_from < len(self._offsets)
+                and self._offsets[keep_from] < lsn
+            ):
+                keep_from += 1
+            if keep_from > self._flushed_upto:
+                raise WALError(
+                    "cannot truncate unflushed log records "
+                    f"(requested lsn {lsn}, durable up to index "
+                    f"{self._flushed_upto})"
+                )
+            del self._records[:keep_from]
+            del self._offsets[:keep_from]
+            self._flushed_upto -= keep_from
+            return keep_from
+
+    @property
+    def first_lsn(self) -> int:
+        """LSN of the oldest retained record (0 when the log is empty)."""
+        with self._lock:
+            return self._offsets[0] if self._offsets else 0
+
+    def buffered_bytes(self) -> int:
+        """Bytes currently retained in the log (drops with truncation)."""
+        with self._lock:
+            return sum(len(r) for r in self._records)
+
+    # ------------------------------------------------------------------ crash
+
+    def crash(self) -> None:
+        """Lose the unflushed tail (simulated log-buffer loss)."""
+        with self._lock:
+            del self._records[self._flushed_upto :]
+            del self._offsets[self._flushed_upto :]
+            if self._records:
+                self._next_lsn = self._offsets[-1] + len(self._records[-1])
+            else:
+                self._next_lsn = 1
+
+    # ------------------------------------------------------------- accounting
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self.bytes_by_type.values())
+
+    def usage_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-type bytes/counts for benchmark diffs."""
+        with self._lock:
+            return {
+                "bytes": {t.name: n for t, n in self.bytes_by_type.items()},
+                "counts": {t.name: n for t, n in self.count_by_type.items()},
+            }
+
+    @staticmethod
+    def usage_diff(
+        before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+    ) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {"bytes": {}, "counts": {}}
+        for section in ("bytes", "counts"):
+            names = set(before[section]) | set(after[section])
+            for name in names:
+                delta = after[section].get(name, 0) - before[section].get(name, 0)
+                if delta:
+                    out[section][name] = delta
+        return out

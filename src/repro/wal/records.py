@@ -1,0 +1,384 @@
+"""Write-ahead-log records with byte-exact sizes.
+
+Table 1 of the paper is a *log-space* experiment, so record sizes here are
+the measured quantity and must be honest.  Every record carries a fixed
+60-byte header — matching the paper's §4.3 observation that insert/delete
+records carry "as high as 60 bytes" of bookkeeping (transaction id, old and
+new page timestamps, position, backchain LSNs, ...) — plus a typed payload:
+
+===================  ========================================================
+record               payload
+===================  ========================================================
+INSERT / DELETE      slot position + the full row (key is logged)
+BATCHINSERT /        slot position + every row; one record batches many
+BATCHDELETE          inserts/deletes on one page (§4.3)
+KEYCOPY              per-(source, target) copy extents *without key bytes*
+                     (§4.1.2): [src page, tgt page, first pos, last pos],
+                     plus target timestamps and the new-page chain links
+ALLOC                page format info (type, level)
+ALLOCRUN             allocation + format of a run of fresh chained pages
+                     (the rebuild's chunk-allocated targets) in one record
+DEALLOC              list of page ids — one record covers a whole run, the
+                     way allocation-bitmap logging batches state changes
+CHANGEPREVLINK       old and new prev pointers of NP (§4.1.2)
+NTA_BEGIN / NTA_END  nested-top-action brackets; NTA_END is the dummy CLR
+                     whose undo_next jumps over the completed action
+CLR                  compensation record written during rollback
+CHECKPOINT           page-manager snapshot + tree root (JSON)
+===================  ========================================================
+
+Records encode to bytes (what the log "disk" stores) and decode losslessly;
+``len(record.encode())`` is the log space the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import LogFormatError
+
+RECORD_OVERHEAD = 60
+"""Fixed per-record header size in bytes (paper §4.3)."""
+
+LEAF_ROW_FLAG = 1
+"""Record flag: this INSERT/DELETE is a *leaf row* (user data) operation.
+
+Leaf rows are undone logically — located by key from the index root —
+because completed splits/rebuild top actions may have relocated them since
+they were logged (the ARIES-IM rationale).  Nonleaf entry operations are
+always undone physically: they only ever get undone while their enclosing
+top action still freezes the affected pages.
+"""
+
+_HEADER_FMT = "<HBBIQQQQHIQ"
+_HEADER_MAGIC = 0x10C5
+assert struct.calcsize(_HEADER_FMT) == 54  # padded to RECORD_OVERHEAD
+
+
+class RecordType(enum.IntEnum):
+    TXN_BEGIN = 1
+    TXN_COMMIT = 2
+    TXN_ABORT = 3
+    NTA_BEGIN = 4
+    NTA_END = 5
+    INSERT = 6
+    DELETE = 7
+    BATCHINSERT = 8
+    BATCHDELETE = 9
+    KEYCOPY = 10
+    ALLOC = 11
+    DEALLOC = 12
+    CHANGEPREVLINK = 13
+    CLR = 14
+    CHECKPOINT = 15
+    CHANGENEXTLINK = 16
+    FORMAT = 17
+    ALLOCRUN = 18
+
+
+@dataclass
+class KeyCopyEntry:
+    """One (source, target) extent of a keycopy record (§4.1.2).
+
+    Rows ``first_pos..last_pos`` (inclusive) of ``src_page`` were appended,
+    in order, to the end of ``tgt_page``.  The key bytes themselves are NOT
+    logged; redo re-reads the source page, which is legal because old pages
+    are freed only after new pages reach disk (§3).
+    """
+
+    src_page: int
+    tgt_page: int
+    first_pos: int
+    last_pos: int
+
+    @property
+    def count(self) -> int:
+        return self.last_pos - self.first_pos + 1
+
+
+@dataclass
+class ChainLink:
+    """New leaf-chain link values installed by a rebuild top action."""
+
+    page_id: int
+    prev_page: int
+    next_page: int
+
+
+@dataclass
+class LogRecord:
+    """A decoded log record.
+
+    ``lsn``/``prev_lsn`` chain records of one transaction; ``undo_next_lsn``
+    is meaningful for NTA_END and CLR records (where undo resumes).
+    ``page_id`` is the primary affected page and ``old_ts`` its timestamp
+    before the change (the new timestamp is the record's own LSN).
+    """
+
+    type: RecordType
+    txn_id: int = 0
+    page_id: int = 0
+    index_id: int = 0
+    old_ts: int = 0
+    lsn: int = 0
+    prev_lsn: int = 0
+    undo_next_lsn: int = 0
+    flags: int = 0
+
+    # Payload fields; which ones are meaningful depends on ``type``.
+    pos: int = 0
+    rows: list[bytes] = field(default_factory=list)
+    entries: list[KeyCopyEntry] = field(default_factory=list)
+    target_ts: list[tuple[int, int]] = field(default_factory=list)
+    links: list[ChainLink] = field(default_factory=list)
+    old_prev: int = 0
+    new_prev: int = 0
+    old_next: int = 0
+    new_next: int = 0
+    pp_page: int = 0
+    pp_old_next: int = 0
+    pp_new_next: int = 0
+    page_type: int = 0
+    level: int = 0
+    prev_page: int = 0
+    next_page: int = 0
+    page_ids: list[int] = field(default_factory=list)  # DEALLOC batches
+    old_format: tuple[int, int, int, int] | None = None  # (type, level, prev, next)
+    payload_json: dict | None = None
+    undone_lsn: int = 0  # for CLR: the LSN this record compensates
+    resolved_undone: "LogRecord | None" = None
+    """Transient (never serialized): during recovery, the decoded record a
+    CLR compensates, resolved from ``undone_lsn`` by the recovery driver."""
+
+    # ----------------------------------------------------------------- encode
+
+    def encode(self) -> bytes:
+        payload = self._encode_payload()
+        length = RECORD_OVERHEAD + len(payload)
+        header = struct.pack(
+            _HEADER_FMT,
+            _HEADER_MAGIC,
+            int(self.type),
+            self.flags,
+            length,
+            self.lsn,
+            self.prev_lsn,
+            self.txn_id,
+            self.undo_next_lsn,
+            self.index_id,
+            self.page_id,
+            self.old_ts,
+        )
+        header += b"\x00" * (RECORD_OVERHEAD - len(header))
+        return header + payload
+
+    @property
+    def size(self) -> int:
+        return RECORD_OVERHEAD + len(self._encode_payload())
+
+    def _encode_payload(self) -> bytes:
+        t = self.type
+        if t in (RecordType.INSERT, RecordType.DELETE):
+            (row,) = self.rows
+            return struct.pack("<HH", self.pos, len(row)) + row
+        if t in (RecordType.BATCHINSERT, RecordType.BATCHDELETE):
+            parts = [struct.pack("<HH", self.pos, len(self.rows))]
+            for row in self.rows:
+                parts.append(struct.pack("<H", len(row)))
+                parts.append(row)
+            return b"".join(parts)
+        if t is RecordType.KEYCOPY:
+            parts = [
+                struct.pack(
+                    "<IIIH",
+                    self.pp_page,
+                    self.pp_old_next,
+                    self.pp_new_next,
+                    len(self.entries),
+                )
+            ]
+            for e in self.entries:
+                parts.append(
+                    struct.pack(
+                        "<IIHH", e.src_page, e.tgt_page, e.first_pos, e.last_pos
+                    )
+                )
+            parts.append(struct.pack("<H", len(self.target_ts)))
+            for page, ts in self.target_ts:
+                parts.append(struct.pack("<IQ", page, ts))
+            parts.append(struct.pack("<H", len(self.links)))
+            for link in self.links:
+                parts.append(
+                    struct.pack(
+                        "<III", link.page_id, link.prev_page, link.next_page
+                    )
+                )
+            return b"".join(parts)
+        if t is RecordType.ALLOC:
+            return struct.pack(
+                "<BBII",
+                self.page_type,
+                self.level,
+                self.prev_page,
+                self.next_page,
+            )
+        if t is RecordType.ALLOCRUN:
+            # prev_page/next_page are the chain neighbors of the whole run;
+            # pages inside the run are chained to each other in id order.
+            head = struct.pack(
+                "<BBIIH",
+                self.page_type,
+                self.level,
+                self.prev_page,
+                self.next_page,
+                len(self.page_ids),
+            )
+            return head + b"".join(
+                struct.pack("<I", pid) for pid in self.page_ids
+            )
+        if t is RecordType.FORMAT:
+            old = self.old_format or (0, 0, 0, 0)
+            return struct.pack(
+                "<BBIIBBII",
+                self.page_type,
+                self.level,
+                self.prev_page,
+                self.next_page,
+                *old,
+            )
+        if t is RecordType.CHANGEPREVLINK:
+            return struct.pack("<II", self.old_prev, self.new_prev)
+        if t is RecordType.CHANGENEXTLINK:
+            return struct.pack("<II", self.old_next, self.new_next)
+        if t is RecordType.CLR:
+            return struct.pack("<Q", self.undone_lsn)
+        if t is RecordType.DEALLOC:
+            ids = self.page_ids or [self.page_id]
+            return struct.pack("<H", len(ids)) + b"".join(
+                struct.pack("<I", pid) for pid in ids
+            )
+        if t is RecordType.CHECKPOINT:
+            return json.dumps(self.payload_json or {}).encode()
+        # TXN_* and NTA_*: header only.
+        return b""
+
+    # ----------------------------------------------------------------- decode
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LogRecord":
+        if len(data) < RECORD_OVERHEAD:
+            raise LogFormatError(f"truncated record: {len(data)} bytes")
+        (
+            magic,
+            rtype,
+            flags,
+            length,
+            lsn,
+            prev_lsn,
+            txn_id,
+            undo_next_lsn,
+            index_id,
+            page_id,
+            old_ts,
+        ) = struct.unpack_from(_HEADER_FMT, data)
+        if magic != _HEADER_MAGIC:
+            raise LogFormatError(f"bad record magic 0x{magic:04x}")
+        if length != len(data):
+            raise LogFormatError(
+                f"record length field {length} != buffer {len(data)}"
+            )
+        rec = cls(
+            type=RecordType(rtype),
+            txn_id=txn_id,
+            page_id=page_id,
+            index_id=index_id,
+            old_ts=old_ts,
+            lsn=lsn,
+            prev_lsn=prev_lsn,
+            undo_next_lsn=undo_next_lsn,
+            flags=flags,
+        )
+        rec._decode_payload(data[RECORD_OVERHEAD:])
+        return rec
+
+    def _decode_payload(self, payload: bytes) -> None:
+        t = self.type
+        if t in (RecordType.INSERT, RecordType.DELETE):
+            pos, rlen = struct.unpack_from("<HH", payload)
+            self.pos = pos
+            self.rows = [payload[4 : 4 + rlen]]
+        elif t in (RecordType.BATCHINSERT, RecordType.BATCHDELETE):
+            pos, nrows = struct.unpack_from("<HH", payload)
+            self.pos = pos
+            off = 4
+            for _ in range(nrows):
+                (rlen,) = struct.unpack_from("<H", payload, off)
+                off += 2
+                self.rows.append(payload[off : off + rlen])
+                off += rlen
+        elif t is RecordType.KEYCOPY:
+            (
+                self.pp_page,
+                self.pp_old_next,
+                self.pp_new_next,
+                nentries,
+            ) = struct.unpack_from("<IIIH", payload)
+            off = 14
+            for _ in range(nentries):
+                src, tgt, first, last = struct.unpack_from("<IIHH", payload, off)
+                self.entries.append(KeyCopyEntry(src, tgt, first, last))
+                off += 12
+            (ntargets,) = struct.unpack_from("<H", payload, off)
+            off += 2
+            for _ in range(ntargets):
+                page, ts = struct.unpack_from("<IQ", payload, off)
+                self.target_ts.append((page, ts))
+                off += 12
+            (nlinks,) = struct.unpack_from("<H", payload, off)
+            off += 2
+            for _ in range(nlinks):
+                pid, prev, nxt = struct.unpack_from("<III", payload, off)
+                self.links.append(ChainLink(pid, prev, nxt))
+                off += 12
+        elif t is RecordType.ALLOC:
+            (
+                self.page_type,
+                self.level,
+                self.prev_page,
+                self.next_page,
+            ) = struct.unpack_from("<BBII", payload)
+        elif t is RecordType.ALLOCRUN:
+            (
+                self.page_type,
+                self.level,
+                self.prev_page,
+                self.next_page,
+                count,
+            ) = struct.unpack_from("<BBIIH", payload)
+            for i in range(count):
+                (pid,) = struct.unpack_from("<I", payload, 12 + 4 * i)
+                self.page_ids.append(pid)
+            if self.page_ids and not self.page_id:
+                self.page_id = self.page_ids[0]
+        elif t is RecordType.FORMAT:
+            fields = struct.unpack_from("<BBIIBBII", payload)
+            self.page_type, self.level, self.prev_page, self.next_page = fields[:4]
+            self.old_format = tuple(fields[4:])  # type: ignore[assignment]
+        elif t is RecordType.CHANGEPREVLINK:
+            self.old_prev, self.new_prev = struct.unpack_from("<II", payload)
+        elif t is RecordType.CHANGENEXTLINK:
+            self.old_next, self.new_next = struct.unpack_from("<II", payload)
+        elif t is RecordType.CLR:
+            (self.undone_lsn,) = struct.unpack_from("<Q", payload)
+        elif t is RecordType.DEALLOC:
+            (count,) = struct.unpack_from("<H", payload)
+            for i in range(count):
+                (pid,) = struct.unpack_from("<I", payload, 2 + 4 * i)
+                self.page_ids.append(pid)
+            if self.page_ids and not self.page_id:
+                self.page_id = self.page_ids[0]
+        elif t is RecordType.CHECKPOINT:
+            self.payload_json = json.loads(payload.decode()) if payload else {}

@@ -1,0 +1,225 @@
+"""Crash recovery: analysis, redo, undo, and deallocated-page freeing.
+
+The protocol is ARIES shaped, specialized to what the paper's engine needs:
+
+1. **Analysis** scans the durable log for the last checkpoint (which embeds
+   the page-manager state and index metadata) and classifies transactions:
+   any txn with a BEGIN but no durable COMMIT/ABORT is a *loser*.
+2. **Redo** replays every durable record from the checkpoint forward, using
+   page timestamps for idempotence (:mod:`repro.wal.apply`).  KEYCOPY redo
+   re-reads source pages; the §3 flush-new-before-free-old rule guarantees
+   the sources are still intact whenever a target needs redo.
+3. **Undo** rolls back losers in descending LSN order, writing CLRs.
+   Completed nested top actions are skipped via their dummy CLRs, so a
+   rebuild that crashed mid-flight keeps all its finished multipage top
+   actions — the paper's incremental-progress property.
+4. **Freeing** (§4.1.3): the unlogged deallocated → free transition is
+   re-derived — after redo and undo, every page still in deallocated state
+   is freed.  New pages are flushed first, preserving the §3 ordering.
+
+Recovery finishes by writing a fresh checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecoveryError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.page_manager import PageManager, PageState
+from repro.wal.apply import ApplyContext, redo_record, undo_record
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord, RecordType
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did — asserted on by the crash tests."""
+
+    checkpoint_lsn: int = 0
+    records_redone: int = 0
+    records_undone: int = 0
+    loser_txns: list[int] = field(default_factory=list)
+    pages_freed: list[int] = field(default_factory=list)
+    index_meta: dict = field(default_factory=dict)
+
+
+class RecoveryManager:
+    """Runs crash recovery over a log / buffer pool / page manager triple."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        buffer: BufferPool,
+        page_manager: PageManager,
+        counters: Counters | None = None,
+    ) -> None:
+        self.log = log
+        self.buffer = buffer
+        self.page_manager = page_manager
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.ctx = ApplyContext(buffer, page_manager)
+
+    # ------------------------------------------------------------------ drive
+
+    def recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        records = list(self.log.scan(durable_only=True))
+        checkpoint = self._analysis(records, report)
+        self._redo(records, checkpoint_lsn=report.checkpoint_lsn, report=report)
+        self._undo(records, report)
+        self._reclaim_phantom_allocations(report)
+        self._free_deallocated(report)
+        self._checkpoint_after_recovery(checkpoint, report)
+        return report
+
+    # --------------------------------------------------------------- analysis
+
+    def _analysis(
+        self, records: list[LogRecord], report: RecoveryReport
+    ) -> LogRecord | None:
+        checkpoint: LogRecord | None = None
+        active: dict[int, int] = {}  # txn -> last durable lsn
+        for rec in records:
+            if rec.type is RecordType.CHECKPOINT:
+                checkpoint = rec
+            elif rec.type is RecordType.TXN_BEGIN:
+                active[rec.txn_id] = rec.lsn
+            elif rec.type in (RecordType.TXN_COMMIT, RecordType.TXN_ABORT):
+                active.pop(rec.txn_id, None)
+            elif rec.txn_id:
+                if rec.txn_id in active:
+                    active[rec.txn_id] = rec.lsn
+        report.loser_txns = sorted(active)
+        self._loser_last_lsn = dict(active)
+        if checkpoint is not None:
+            report.checkpoint_lsn = checkpoint.lsn
+            payload = checkpoint.payload_json or {}
+            snap = payload.get("page_manager")
+            if snap is None:
+                raise RecoveryError("checkpoint record lacks page_manager state")
+            self.page_manager.restore(snap)
+            report.index_meta = dict(payload.get("index_meta", {}))
+            # Roots feed logical undo of leaf-level records during the
+            # undo pass (root page ids are stable, so this stays valid).
+            self.ctx.index_roots.update(
+                {
+                    int(index_id): int(meta["root"])
+                    for index_id, meta in report.index_meta.items()
+                }
+            )
+        return checkpoint
+
+    # ------------------------------------------------------------------- redo
+
+    def _redo(
+        self,
+        records: list[LogRecord],
+        checkpoint_lsn: int,
+        report: RecoveryReport,
+    ) -> None:
+        for rec in records:
+            if rec.lsn <= checkpoint_lsn:
+                continue
+            if rec.type is RecordType.CLR:
+                rec.resolved_undone = self.log.record_at(rec.undone_lsn)
+            redo_record(rec, self.ctx)
+            report.records_redone += 1
+
+    # ------------------------------------------------------------------- undo
+
+    def _undo(self, records: list[LogRecord], report: RecoveryReport) -> None:
+        """Roll back losers in globally descending LSN order with CLRs."""
+        next_undo = dict(self._loser_last_lsn)
+        chain_tail = dict(self._loser_last_lsn)  # txn -> lsn of its last record
+        while next_undo:
+            txn_id = max(next_undo, key=lambda t: next_undo[t])
+            lsn = next_undo[txn_id]
+            if lsn == 0:
+                self._finish_loser(txn_id, chain_tail)
+                del next_undo[txn_id]
+                continue
+            rec = self.log.record_at(lsn)
+            if rec.type in (RecordType.NTA_END, RecordType.CLR):
+                next_undo[txn_id] = rec.undo_next_lsn
+                continue
+            if rec.type is RecordType.TXN_BEGIN:
+                self._finish_loser(txn_id, chain_tail)
+                del next_undo[txn_id]
+                continue
+            if rec.type in (
+                RecordType.NTA_BEGIN,
+                RecordType.CHECKPOINT,
+                RecordType.TXN_COMMIT,
+                RecordType.TXN_ABORT,
+            ):
+                next_undo[txn_id] = rec.prev_lsn
+                continue
+            clr = LogRecord(
+                type=RecordType.CLR,
+                txn_id=txn_id,
+                page_id=rec.page_id,
+                undone_lsn=rec.lsn,
+                undo_next_lsn=rec.prev_lsn,
+                prev_lsn=chain_tail[txn_id],
+            )
+            clr_lsn = self.log.append(clr)
+            chain_tail[txn_id] = clr_lsn
+            undo_record(rec, self.ctx, clr_lsn)
+            report.records_undone += 1
+            next_undo[txn_id] = rec.prev_lsn
+
+    def _finish_loser(self, txn_id: int, chain_tail: dict[int, int]) -> None:
+        abort = LogRecord(
+            type=RecordType.TXN_ABORT,
+            txn_id=txn_id,
+            prev_lsn=chain_tail[txn_id],
+        )
+        lsn = self.log.append(abort)
+        self.log.flush_to(lsn)
+
+    # ------------------------------------------------------------ reclamation
+
+    def _reclaim_phantom_allocations(self, report: RecoveryReport) -> None:
+        """Free allocated pages that have no image anywhere.
+
+        Chunk reservations (the rebuild's contiguous-allocation cursor) are
+        in-memory-only until a page is actually formatted and logged; a
+        checkpoint snapshot taken while a cursor held reserved pages can
+        therefore record allocations that no log record ever backs.  After
+        redo, every genuinely allocated page has an image (on disk, or
+        recreated in the buffer by ALLOC/ALLOCRUN redo) — anything left
+        without one is a phantom reservation and is reclaimed.
+        """
+        for pid in self.page_manager.allocated_pages():
+            if self.buffer.is_resident(pid) or self.buffer.disk.exists(pid):
+                continue
+            self.page_manager.force_state(pid, PageState.FREE)
+            report.pages_freed.append(pid)
+
+    # ---------------------------------------------------------------- freeing
+
+    def _free_deallocated(self, report: RecoveryReport) -> None:
+        """§4.1.3: free every page still deallocated, new pages flushed first."""
+        stale = self.page_manager.deallocated_pages()
+        if not stale:
+            return
+        self.buffer.flush_all()
+        for pid in stale:
+            self.page_manager.free(pid)
+        report.pages_freed.extend(stale)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def _checkpoint_after_recovery(
+        self, old_checkpoint: LogRecord | None, report: RecoveryReport
+    ) -> None:
+        self.buffer.flush_all()
+        payload = {
+            "page_manager": self.page_manager.snapshot(),
+            "index_meta": report.index_meta,
+        }
+        rec = LogRecord(type=RecordType.CHECKPOINT, payload_json=payload)
+        lsn = self.log.append(rec)
+        self.log.flush_to(lsn)

@@ -1,0 +1,32 @@
+"""Workload generators and drivers for the paper's experiments."""
+
+from repro.workload.builder import (
+    build_by_inserts,
+    bulk_load,
+    declustering_metric,
+    thin_out,
+)
+from repro.workload.keygen import (
+    INT4_KEY_LEN,
+    WIDE40_KEY_LEN,
+    int4_key,
+    int4_value,
+    keys_for_config,
+    wide40_key,
+)
+from repro.workload.runner import MixedWorkload, OltpStats
+
+__all__ = [
+    "INT4_KEY_LEN",
+    "MixedWorkload",
+    "OltpStats",
+    "WIDE40_KEY_LEN",
+    "build_by_inserts",
+    "bulk_load",
+    "declustering_metric",
+    "int4_key",
+    "int4_value",
+    "keys_for_config",
+    "thin_out",
+    "wide40_key",
+]

@@ -1,0 +1,63 @@
+"""Key generators matching the paper's two experimental configurations.
+
+Table 1 (§6.4) runs two index shapes:
+
+* **key size 4, average nonleaf row ~10 bytes** — a 4-byte integer key.
+  Our nonleaf row is ``separator + 4-byte child + 2-byte slot``; suffix
+  compression against big-endian integer units gives separators of ~4
+  bytes, i.e. rows of ~10 bytes, matching the paper.
+* **key size 40, average nonleaf row ~20 bytes** — a wide (multi-column
+  style) key whose neighbors share a long prefix, so the compressed
+  separator is ~14 bytes and the row ~20 bytes.  :func:`wide40_key` builds
+  keys as a slowly-varying 13-byte group prefix plus a pseudo-random
+  27-byte tail: adjacent keys in sort order usually share the group
+  prefix and diverge immediately after it, putting the separator right
+  around byte 14.
+
+Both generators are pure functions of the key ordinal, so workloads are
+reproducible without storing key sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+INT4_KEY_LEN = 4
+WIDE40_KEY_LEN = 40
+WIDE40_GROUP_SIZE = 4096
+
+
+def int4_key(i: int) -> bytes:
+    """Big-endian 4-byte integer key (byte order == numeric order)."""
+    return i.to_bytes(INT4_KEY_LEN, "big")
+
+
+def int4_value(key: bytes) -> int:
+    return int.from_bytes(key, "big")
+
+
+def wide40_key(i: int, group_size: int = WIDE40_GROUP_SIZE) -> bytes:
+    """A 40-byte key with ~13-byte shared prefixes between sort-neighbors.
+
+    Layout: 13 ASCII digits of ``i // group_size`` (the slowly-varying
+    "leading columns"), then 27 bytes derived from sha256(i) (the
+    high-entropy "trailing columns").  Sort order within a group is the
+    hash order — effectively random — so bulk inserts in ordinal order
+    also exercise non-append insertion paths.
+    """
+    group = b"%013d" % (i // group_size)
+    tail = hashlib.sha256(i.to_bytes(8, "big")).digest()[:27]
+    return group + tail
+
+
+def keys_for_config(config: str, count: int) -> tuple[list[bytes], int]:
+    """Generate ``count`` keys for a named Table 1 configuration.
+
+    ``config`` is ``"int4"`` or ``"wide40"``; returns (keys in ordinal
+    order, key length).
+    """
+    if config == "int4":
+        return [int4_key(i) for i in range(count)], INT4_KEY_LEN
+    if config == "wide40":
+        return [wide40_key(i) for i in range(count)], WIDE40_KEY_LEN
+    raise ValueError(f"unknown key config {config!r}")

@@ -1,0 +1,154 @@
+"""Concurrent OLTP driver for the §6.2 concurrency experiments.
+
+Runs a mixed insert/delete/scan workload from several threads against an
+index, counting completed operations and per-class failures.  The §6.2
+bench runs it three ways — alone, against the online rebuild, and against
+the offline (table-locked) rebuild — and compares throughput and the
+blocked-time counters.
+
+Writers operate on a key subspace disjoint from the measurement keys (odd
+ordinals), so correctness checks on the untouched keys remain valid after
+the run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.btree.tree import BTree
+from repro.errors import DuplicateKeyError, KeyNotFoundError, LockTimeoutError
+
+
+@dataclass
+class OltpStats:
+    """Aggregate results of one mixed-workload run."""
+
+    duration_seconds: float = 0.0
+    inserts: int = 0
+    deletes: int = 0
+    scans: int = 0
+    scan_rows: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.inserts + self.deletes + self.scans
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.operations / self.duration_seconds
+
+
+class MixedWorkload:
+    """A stoppable multi-threaded insert/delete/scan workload."""
+
+    def __init__(
+        self,
+        tree: BTree,
+        keyfn,
+        key_count: int,
+        threads: int = 4,
+        write_fraction: float = 0.8,
+        scan_width: int = 200,
+        seed: int = 0,
+        before_op=None,
+    ) -> None:
+        """``keyfn(i) -> bytes`` maps ordinals to keys; writers touch only
+        odd ordinals in ``[1, key_count)``.
+
+        ``before_op()`` (optional) runs before every operation — the §6.2
+        offline-baseline bench uses it to take the instant table lock a
+        query-processing layer would acquire before touching the table.
+        """
+        self.tree = tree
+        self.keyfn = keyfn
+        self.key_count = key_count
+        self.threads = threads
+        self.write_fraction = write_fraction
+        self.scan_width = scan_width
+        self.seed = seed
+        self.before_op = before_op
+        self.stats = OltpStats()
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+        self._workers = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True)
+            for i in range(self.threads)
+        ]
+        for w in self._workers:
+            w.start()
+
+    def stop(self) -> OltpStats:
+        self._stop.set()
+        for w in self._workers:
+            w.join()
+        self.stats.duration_seconds = time.perf_counter() - self._started_at
+        return self.stats
+
+    def run_for(self, seconds: float) -> OltpStats:
+        """Convenience: start, sleep, stop."""
+        self.start()
+        time.sleep(seconds)
+        return self.stop()
+
+    # --------------------------------------------------------------- workers
+
+    def _worker(self, ordinal: int) -> None:
+        rnd = random.Random(self.seed * 1000 + ordinal)
+        inserts = deletes = scans = scan_rows = 0
+        try:
+            while not self._stop.is_set():
+                if self.before_op is not None:
+                    self.before_op()
+                i = rnd.randrange(1, self.key_count, 2)
+                key = self.keyfn(i)
+                dice = rnd.random()
+                if dice < self.write_fraction / 2:
+                    try:
+                        self.tree.insert(key, i)
+                        inserts += 1
+                    except DuplicateKeyError:
+                        pass
+                elif dice < self.write_fraction:
+                    try:
+                        self.tree.delete(key, i)
+                        deletes += 1
+                    except KeyNotFoundError:
+                        pass
+                else:
+                    hi_ord = min(i + self.scan_width, self.key_count - 1)
+                    hi = self.keyfn(hi_ord)
+                    lo, hi = (key, hi) if key <= hi else (hi, key)
+                    rows = 0
+                    for _ in self.tree.scan(lo=lo, hi=hi):
+                        rows += 1
+                        if rows >= self.scan_width:
+                            break
+                    scans += 1
+                    scan_rows += rows
+        except LockTimeoutError as exc:
+            with self._lock:
+                self.stats.errors.append(f"timeout: {exc}")
+        except Exception as exc:  # pragma: no cover - surfaced by tests
+            import traceback
+
+            with self._lock:
+                self.stats.errors.append(traceback.format_exc())
+        finally:
+            with self._lock:
+                self.stats.inserts += inserts
+                self.stats.deletes += deletes
+                self.stats.scans += scans
+                self.stats.scan_rows += scan_rows

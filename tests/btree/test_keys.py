@@ -1,0 +1,94 @@
+"""Unit tests for key encoding and suffix compression."""
+
+import pytest
+
+from repro.btree import keys as K
+from repro.errors import BTreeError
+
+
+def test_rowid_roundtrip():
+    for rid in (0, 1, 123456, K.ROWID_MAX):
+        assert K.decode_rowid(K.encode_rowid(rid)) == rid
+
+
+def test_rowid_out_of_range():
+    with pytest.raises(BTreeError):
+        K.encode_rowid(-1)
+    with pytest.raises(BTreeError):
+        K.encode_rowid(K.ROWID_MAX + 1)
+
+
+def test_rowid_byte_order_matches_numeric_order():
+    assert K.encode_rowid(5) < K.encode_rowid(6)
+    assert K.encode_rowid(255) < K.encode_rowid(256)
+
+
+def test_leaf_unit_concatenates():
+    unit = K.leaf_unit(b"abcd", 7, key_len=4)
+    assert unit == b"abcd" + (7).to_bytes(6, "big")
+
+
+def test_leaf_unit_enforces_key_len():
+    with pytest.raises(BTreeError):
+        K.leaf_unit(b"abc", 1, key_len=4)
+    with pytest.raises(BTreeError):
+        K.leaf_unit(b"abcde", 1, key_len=4)
+
+
+def test_split_unit_inverse():
+    unit = K.leaf_unit(b"wxyz", 99, key_len=4)
+    assert K.split_unit(unit) == (b"wxyz", 99)
+
+
+def test_split_unit_rejects_short():
+    with pytest.raises(BTreeError):
+        K.split_unit(b"abc")
+
+
+def test_duplicate_keys_ordered_by_rowid():
+    a = K.leaf_unit(b"same", 1, key_len=4)
+    b = K.leaf_unit(b"same", 2, key_len=4)
+    assert a < b
+
+
+def test_search_bounds_bracket_all_rowids():
+    lo = K.search_floor(b"key1")
+    hi = K.search_ceiling(b"key1")
+    for rid in (0, 500, K.ROWID_MAX):
+        unit = K.leaf_unit(b"key1", rid, key_len=4)
+        assert lo <= unit <= hi
+
+
+class TestSeparator:
+    def test_separator_properties(self):
+        cases = [
+            (b"apple", b"banana"),
+            (b"abc", b"abd"),
+            (b"abc", b"abcd"),
+            (b"a", b"b"),
+            (b"\x00\x01", b"\x00\x02"),
+        ]
+        for left, right in cases:
+            s = K.separator(left, right)
+            assert left < s <= right
+            # Shortest: one byte shorter fails the property.
+            if len(s) > 1:
+                assert not left < s[:-1]
+
+    def test_separator_first_divergence(self):
+        assert K.separator(b"aaaa", b"aaba") == b"aab"
+
+    def test_separator_prefix_case(self):
+        assert K.separator(b"ab", b"abc") == b"abc"
+
+    def test_separator_requires_strict_order(self):
+        with pytest.raises(BTreeError):
+            K.separator(b"same", b"same")
+        with pytest.raises(BTreeError):
+            K.separator(b"z", b"a")
+
+    def test_separator_compresses_long_tails(self):
+        left = b"commonprefix-" + b"a" * 30
+        right = b"commonprefix-" + b"b" * 30
+        s = K.separator(left, right)
+        assert len(s) == len(b"commonprefix-") + 1

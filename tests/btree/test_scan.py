@@ -1,0 +1,65 @@
+"""Scan behavior under §2.5 semantics: latch drops between rows,
+repositioning after concurrent structural changes."""
+
+from tests.conftest import contents_as_ints, fill_index, intkey
+
+
+def ints(pairs):
+    return [int.from_bytes(k, "big") for k, _ in pairs]
+
+
+def test_scan_sees_consistent_prefix_under_interleaved_deletes(index):
+    fill_index(index, 200)
+    it = index.scan()
+    got = [ints([next(it)])[0] for _ in range(10)]
+    # Delete far ahead of the cursor; the scan must skip them.
+    for k in range(100, 150):
+        index.delete(intkey(k), k)
+    got += ints(it)
+    expected = list(range(100)) + list(range(150, 200))
+    assert got == expected
+
+
+def test_scan_skips_rows_deleted_at_cursor(index):
+    fill_index(index, 100)
+    it = index.scan()
+    got = [ints([next(it)])[0] for _ in range(5)]  # 0..4 returned
+    index.delete(intkey(5), 5)  # right where the cursor stands
+    got += ints(it)
+    assert got == [k for k in range(100) if k != 5]
+
+
+def test_scan_sees_rows_inserted_ahead(index):
+    fill_index(index, 100)
+    it = index.scan()
+    got = [ints([next(it)])[0] for _ in range(5)]
+    index.insert(intkey(50), 999_999)  # same key, new rowid, ahead
+    got += ints(it)
+    assert got.count(50) == 2
+
+
+def test_scan_survives_page_split_under_cursor(index):
+    fill_index(index, 300, seed=None)
+    it = index.scan()
+    got = [ints([next(it)])[0] for _ in range(3)]
+    # Insert a burst right at the cursor's page to force splits there.
+    for k in range(300, 500):
+        index.insert(intkey(k), k)
+    got += ints(it)
+    assert got == list(range(500))
+
+
+def test_scan_survives_page_shrink_under_cursor(index):
+    fill_index(index, 400, seed=None)
+    it = index.scan()
+    got = [ints([next(it)])[0] for _ in range(3)]
+    # Empty the pages just ahead of the cursor.
+    for k in range(10, 200):
+        index.delete(intkey(k), k)
+    got += ints(it)
+    assert got == list(range(10)) + list(range(200, 400))
+
+
+def test_backward_compat_full_scan_is_sorted(index):
+    fill_index(index, 700, seed=9)
+    assert ints(index.scan()) == sorted(contents_as_ints(index))

@@ -1,0 +1,89 @@
+"""Shrink top-action tests: page removal, cascades, root collapse."""
+
+from repro.storage.page import PageFlag
+from repro.storage.page_manager import PageState
+from tests.conftest import contents_as_ints, fill_index, intkey
+
+
+def test_emptying_a_leaf_removes_it(engine, index):
+    fill_index(index, 400, seed=None)
+    before = index.verify()
+    # Delete one whole leaf's key range (the lowest keys).
+    for k in range(0, 150):
+        index.delete(intkey(k), k)
+    after = index.verify()
+    assert after.leaf_pages < before.leaf_pages
+    assert contents_as_ints(index) == list(range(150, 400))
+
+
+def test_shrunk_pages_are_freed(engine, index):
+    fill_index(index, 400, seed=None)
+    leaves_before = set(index.verify().leaf_page_ids)
+    for k in range(0, 150):
+        index.delete(intkey(k), k)
+    leaves_after = set(index.verify().leaf_page_ids)
+    for pid in leaves_before - leaves_after:
+        assert engine.ctx.page_manager.state(pid) is PageState.FREE
+
+
+def test_shrink_updates_chain(engine, index):
+    fill_index(index, 600, seed=None)
+    # Carve a hole in the middle of the key space.
+    for k in range(200, 400):
+        index.delete(intkey(k), k)
+    index.verify()  # checks prev/next consistency
+    got = contents_as_ints(index)
+    assert got == list(range(200)) + list(range(400, 600))
+
+
+def test_shrink_first_child_strips_separator(engine, index):
+    fill_index(index, 500, seed=None)
+    # Remove the leftmost leaf: its parent's new first entry must be
+    # keyless — verify() enforces that invariant.
+    for k in range(0, 120):
+        index.delete(intkey(k), k)
+    index.verify()
+
+
+def test_cascading_shrink_collapses_root(engine, index):
+    fill_index(index, 800, seed=None)
+    assert index.height() >= 2
+    for k in range(800):
+        index.delete(intkey(k), k)
+    stats = index.verify()
+    assert stats.height == 1
+    assert stats.rows == 0
+
+
+def test_root_leaf_never_shrinks(engine, index):
+    index.insert(intkey(1), 1)
+    index.delete(intkey(1), 1)
+    assert engine.ctx.page_manager.state(index.root_page_id) is (
+        PageState.ALLOCATED
+    )
+    stats = index.verify()
+    assert stats.leaf_pages == 1
+
+
+def test_no_bits_or_locks_after_shrinks(engine, index):
+    fill_index(index, 500, seed=None)
+    for k in range(0, 250):
+        index.delete(intkey(k), k)
+    assert engine.ctx.locks._table == {}
+    for pid in engine.ctx.page_manager.allocated_pages():
+        page = engine.ctx.buffer.fetch(pid)
+        assert page.flags == PageFlag.NONE
+        engine.ctx.buffer.unpin(pid)
+
+
+def test_reinsert_into_shrunk_range(index):
+    fill_index(index, 400, seed=None)
+    for k in range(100, 300):
+        index.delete(intkey(k), k)
+    for k in range(150, 250):
+        index.insert(intkey(k), k)
+    expected = sorted(
+        set(range(400)) - set(range(100, 300)) | set(range(150, 250))
+    )
+    assert contents_as_ints(index) == expected
+    index.verify()

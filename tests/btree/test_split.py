@@ -1,0 +1,92 @@
+"""Split top-action tests: leaf splits, root growth, multilevel trees,
+protocol-bit hygiene."""
+
+from repro.storage.page import PageFlag, PageType
+from tests.conftest import contents_as_ints, fill_index, intkey
+
+
+def leaf_count(index) -> int:
+    return index.verify().leaf_pages
+
+
+def test_first_split_grows_root_in_place(engine, index):
+    root_before = index.root_page_id
+    k = 0
+    while index.height() == 1:
+        index.insert(intkey(k), k)
+        k += 1
+    assert index.root_page_id == root_before  # stable root id
+    stats = index.verify()
+    assert stats.height == 2
+    assert stats.leaf_pages == 2
+    assert contents_as_ints(index) == list(range(k))
+
+
+def test_split_preserves_all_rows(index):
+    fill_index(index, 2000)
+    assert contents_as_ints(index) == list(range(2000))
+
+
+def test_split_distributes_rows(index):
+    fill_index(index, 400, seed=0)
+    stats = index.verify()
+    # Random inserts: every leaf between ~40% and 100% full.
+    assert stats.leaf_pages >= 2
+    assert 0.4 <= stats.leaf_fill <= 1.0
+
+
+def test_three_level_tree(engine):
+    index = engine.create_index(key_len=16)
+    for i in range(9000):
+        index.insert(b"%016d" % i, i)
+    stats = index.verify()
+    assert stats.height == 3
+    assert stats.rows == 9000
+    assert index.contains(b"%016d" % 4567, 4567)
+
+
+def test_no_protocol_bits_left_after_splits(engine, index):
+    fill_index(index, 1500)
+    for pid in engine.ctx.page_manager.allocated_pages():
+        page = engine.ctx.buffer.fetch(pid)
+        assert page.flags == PageFlag.NONE, f"page {pid} kept {page.flags!r}"
+        assert page.side_page == 0
+        engine.ctx.buffer.unpin(pid)
+
+
+def test_no_address_locks_left_after_splits(engine, index):
+    fill_index(index, 1500)
+    # Any leftover address lock would show in the lock table.
+    assert engine.ctx.locks._table == {}
+
+
+def test_leaf_chain_links_after_splits(index):
+    fill_index(index, 1200)
+    index.verify()  # verifies prev/next mutual consistency
+
+
+def test_nonleaf_first_entry_keyless_after_splits(engine, index):
+    fill_index(index, 3000)
+    from repro.btree import node
+
+    for pid in engine.ctx.page_manager.allocated_pages():
+        page = engine.ctx.buffer.fetch(pid)
+        if page.page_type is PageType.NONLEAF and page.nrows:
+            assert node.entry_key(page.rows[0]) == b""
+        engine.ctx.buffer.unpin(pid)
+
+
+def test_split_point_balances_bytes(index):
+    # Ascending fill: the engine still moves at least one row per split,
+    # so both sides of every split are non-empty and ordered.
+    fill_index(index, 800, seed=None)
+    stats = index.verify()
+    assert stats.leaf_pages > 2
+
+
+def test_appending_after_random_fill(index):
+    fill_index(index, 500, seed=3)
+    for k in range(10_000, 10_300):
+        index.insert(intkey(k), k)
+    expected = sorted(list(range(500)) + list(range(10_000, 10_300)))
+    assert contents_as_ints(index) == expected

@@ -1,0 +1,171 @@
+"""Basic index-manager operations: insert, delete, lookup, scan."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from tests.conftest import contents_as_ints, fill_index, intkey
+
+
+def test_empty_index(index):
+    assert index.contents() == []
+    assert not index.contains(intkey(1), 1)
+    assert index.lookup(intkey(1)) == []
+    stats = index.verify()
+    assert stats.height == 1
+    assert stats.rows == 0
+
+
+def test_single_insert_and_lookup(index):
+    index.insert(intkey(5), 5)
+    assert index.contains(intkey(5), 5)
+    assert index.lookup(intkey(5)) == [5]
+    assert not index.contains(intkey(5), 6)
+
+
+def test_duplicate_insert_raises(index):
+    index.insert(intkey(5), 5)
+    with pytest.raises(DuplicateKeyError):
+        index.insert(intkey(5), 5)
+
+
+def test_same_key_different_rowids_allowed(index):
+    index.insert(intkey(5), 1)
+    index.insert(intkey(5), 2)
+    assert sorted(index.lookup(intkey(5))) == [1, 2]
+
+
+def test_delete_missing_raises(index):
+    with pytest.raises(KeyNotFoundError):
+        index.delete(intkey(5), 5)
+    index.insert(intkey(5), 5)
+    with pytest.raises(KeyNotFoundError):
+        index.delete(intkey(5), 99)
+
+
+def test_insert_delete_roundtrip(index):
+    index.insert(intkey(5), 5)
+    index.delete(intkey(5), 5)
+    assert not index.contains(intkey(5), 5)
+    assert index.contents() == []
+
+
+def test_many_inserts_sorted_contents(index):
+    fill_index(index, 1000)
+    assert contents_as_ints(index) == list(range(1000))
+    stats = index.verify()
+    assert stats.rows == 1000
+    assert stats.height >= 2
+
+
+def test_ascending_inserts(index):
+    fill_index(index, 500, seed=None)
+    assert contents_as_ints(index) == list(range(500))
+    index.verify()
+
+
+def test_descending_inserts(index):
+    for k in reversed(range(500)):
+        index.insert(intkey(k), k)
+    assert contents_as_ints(index) == list(range(500))
+    index.verify()
+
+
+def test_scan_full_range(index):
+    fill_index(index, 300)
+    got = [int.from_bytes(k, "big") for k, r in index.scan()]
+    assert got == list(range(300))
+
+
+def test_scan_bounds_inclusive(index):
+    fill_index(index, 100)
+    got = [int.from_bytes(k, "big") for k, _ in index.scan(intkey(10), intkey(20))]
+    assert got == list(range(10, 21))
+
+
+def test_scan_returns_rowids(index):
+    fill_index(index, 50)
+    pairs = list(index.scan(intkey(5), intkey(7)))
+    assert pairs == [(intkey(k), k) for k in (5, 6, 7)]
+
+
+def test_scan_empty_range(index):
+    fill_index(index, 50)
+    assert list(index.scan(intkey(60), intkey(70))) == []
+
+
+def test_scan_single_point(index):
+    fill_index(index, 50)
+    assert list(index.scan(intkey(7), intkey(7))) == [(intkey(7), 7)]
+
+
+def test_scan_abandoned_midway_releases_cleanly(index):
+    fill_index(index, 300)
+    it = index.scan()
+    for _ in range(5):
+        next(it)
+    it.close()
+    # Everything still works afterwards.
+    index.insert(intkey(9999), 9999)
+    index.verify()
+
+
+def test_interleaved_inserts_deletes(index):
+    fill_index(index, 400)
+    for k in range(0, 400, 3):
+        index.delete(intkey(k), k)
+    for k in range(400, 500):
+        index.insert(intkey(k), k)
+    expected = sorted(
+        [k for k in range(400) if k % 3 != 0] + list(range(400, 500))
+    )
+    assert contents_as_ints(index) == expected
+    index.verify()
+
+
+def test_delete_everything_leaves_empty_valid_tree(index):
+    fill_index(index, 600)
+    for k in range(600):
+        index.delete(intkey(k), k)
+    stats = index.verify()
+    assert stats.rows == 0
+    assert stats.height == 1  # root collapsed back to an empty leaf
+    # And the index remains usable.
+    index.insert(intkey(1), 1)
+    assert index.contains(intkey(1), 1)
+
+
+def test_explicit_txn_commit(engine, index):
+    txn = engine.ctx.txns.begin()
+    index.insert(intkey(1), 1, txn=txn)
+    index.insert(intkey(2), 2, txn=txn)
+    engine.ctx.txns.commit(txn)
+    assert contents_as_ints(index) == [1, 2]
+
+
+def test_explicit_txn_abort_rolls_back(engine, index):
+    index.insert(intkey(1), 1)
+    txn = engine.ctx.txns.begin()
+    index.insert(intkey(2), 2, txn=txn)
+    index.delete(intkey(1), 1, txn=txn)
+    engine.ctx.txns.abort(txn)
+    assert contents_as_ints(index) == [1]
+    index.verify()
+
+
+def test_explicit_txn_abort_after_splits(engine, index):
+    fill_index(index, 200, seed=None)
+    txn = engine.ctx.txns.begin()
+    for k in range(1000, 1500):
+        index.insert(intkey(k), k, txn=txn)
+    engine.ctx.txns.abort(txn)
+    assert contents_as_ints(index) == list(range(200))
+    index.verify()  # splits persist but rows are gone
+
+
+def test_wide_keys(engine):
+    index = engine.create_index(key_len=32)
+    keys = [b"%031d" % i + b"k" for i in range(200)]
+    for i, key in enumerate(keys):
+        index.insert(key[:32], i)
+    index.verify()
+    assert index.contains(keys[7][:32], 7)

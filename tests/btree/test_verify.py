@@ -1,0 +1,108 @@
+"""The structural verifier must catch seeded corruptions."""
+
+import pytest
+
+from repro.btree import node
+from repro.errors import TreeStructureError
+from repro.storage.page import PageFlag
+from tests.conftest import fill_index, intkey
+
+
+def corrupt_and_expect(engine, index, mutator):
+    stats = index.verify()
+    mutator(stats)
+    with pytest.raises(TreeStructureError):
+        index.verify()
+
+
+def get_page(engine, pid):
+    page = engine.ctx.buffer.fetch(pid)
+    engine.ctx.buffer.unpin(pid)
+    return page
+
+
+def test_detects_broken_next_link(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        page = get_page(engine, stats.leaf_page_ids[1])
+        page.next_page = 999_999 if page.next_page == 0 else 0
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_broken_prev_link(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        get_page(engine, stats.leaf_page_ids[2]).prev_page = 12345
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_out_of_order_rows(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        page = get_page(engine, stats.leaf_page_ids[0])
+        page.rows[0], page.rows[1] = page.rows[1], page.rows[0]
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_keyed_first_entry(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        root = get_page(engine, index.root_page_id)
+        child = node.entry_child(root.rows[0])
+        root.rows[0] = node.encode_entry(b"oops", child)
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_row_outside_separator_range(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        # Move a huge unit into the leftmost leaf: violates its high bound.
+        page = get_page(engine, stats.leaf_page_ids[0])
+        page.append_row(b"\xff" * 10)
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_leftover_protocol_bits(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        get_page(engine, stats.leaf_page_ids[0]).set_flag(PageFlag.SHRINK)
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_deallocated_reachable_page(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        engine.ctx.page_manager.deallocate(stats.leaf_page_ids[1])
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_detects_wrong_index_id(engine, index):
+    fill_index(index, 600)
+
+    def mutate(stats):
+        get_page(engine, stats.leaf_page_ids[0]).index_id = 99
+
+    corrupt_and_expect(engine, index, mutate)
+
+
+def test_stats_on_healthy_tree(engine, index):
+    fill_index(index, 600)
+    stats = index.verify()
+    assert stats.rows == 600
+    assert stats.leaf_pages == len(stats.leaf_page_ids)
+    assert 0 < stats.leaf_fill <= 1.0
+    assert stats.height >= 2

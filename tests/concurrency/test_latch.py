@@ -1,0 +1,166 @@
+"""Unit tests for the latch manager (S/X page latches)."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.latch import LatchManager, LatchMode
+from repro.errors import LatchError, LockTimeoutError
+from repro.stats.counters import Counters
+
+
+@pytest.fixture
+def latches() -> LatchManager:
+    return LatchManager(counters=Counters(), timeout=2.0)
+
+
+def test_s_latches_share(latches):
+    latches.acquire(1, LatchMode.S)
+    done = threading.Event()
+
+    def other():
+        latches.acquire(1, LatchMode.S)
+        latches.release(1)
+        done.set()
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join(2)
+    assert done.is_set()
+    latches.release(1)
+
+
+def test_x_excludes_s(latches):
+    latches.acquire(1, LatchMode.X)
+    blocked = threading.Event()
+    acquired = threading.Event()
+
+    def other():
+        blocked.set()
+        latches.acquire(1, LatchMode.S)
+        acquired.set()
+        latches.release(1)
+
+    t = threading.Thread(target=other)
+    t.start()
+    blocked.wait(2)
+    assert not acquired.wait(0.2)
+    latches.release(1)
+    assert acquired.wait(2)
+    t.join()
+
+
+def test_s_excludes_x(latches):
+    latches.acquire(1, LatchMode.S)
+    results = []
+
+    def other():
+        results.append(latches.try_acquire(1, LatchMode.X))
+        if results[-1]:
+            latches.release(1)
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join(2)
+    assert results == [False]
+    latches.release(1)
+
+    t2 = threading.Thread(target=other)
+    t2.start()
+    t2.join(2)
+    assert results == [False, True]
+
+
+def test_try_acquire_never_blocks(latches):
+    latches.acquire(1, LatchMode.X)
+    done = threading.Event()
+    results = []
+
+    def other():
+        results.append(latches.try_acquire(1, LatchMode.S))
+        done.set()
+
+    threading.Thread(target=other).start()
+    assert done.wait(2)
+    assert results == [False]
+    latches.release(1)
+
+
+def test_not_reentrant(latches):
+    latches.acquire(1, LatchMode.S)
+    with pytest.raises(LatchError):
+        latches.acquire(1, LatchMode.S)
+    latches.release(1)
+
+
+def test_release_without_hold_raises(latches):
+    with pytest.raises(LatchError):
+        latches.release(1)
+
+
+def test_release_all(latches):
+    latches.acquire(1, LatchMode.S)
+    latches.acquire(2, LatchMode.X)
+    latches.release_all()
+    assert latches.held_by_me() == {}
+    # And everything is acquirable again.
+    assert latches.try_acquire(1, LatchMode.X)
+    latches.release(1)
+
+
+def test_holds_reports_mode(latches):
+    latches.acquire(1, LatchMode.X)
+    assert latches.holds(1)
+    assert latches.holds(1, LatchMode.X)
+    assert not latches.holds(1, LatchMode.S)
+    assert not latches.holds(2)
+    latches.release(1)
+
+
+def test_watchdog_timeout_raises(latches):
+    latches.acquire(1, LatchMode.X)
+    errors = []
+
+    def other():
+        try:
+            latches.acquire(1, LatchMode.X)
+        except LockTimeoutError as exc:
+            errors.append(exc)
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join(5)
+    assert errors  # never released: the watchdog fired
+    latches.release(1)
+
+
+def test_distinct_pages_independent(latches):
+    latches.acquire(1, LatchMode.X)
+    assert latches.try_acquire(2, LatchMode.X)
+    latches.release(1)
+    latches.release(2)
+
+
+def test_many_threads_mutual_exclusion(latches):
+    counter = {"value": 0, "inside": 0}
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(50):
+                latches.acquire(7, LatchMode.X)
+                counter["inside"] += 1
+                assert counter["inside"] == 1
+                counter["value"] += 1
+                counter["inside"] -= 1
+                latches.release(7)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert counter["value"] == 300

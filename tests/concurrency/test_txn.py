@@ -1,0 +1,154 @@
+"""Unit tests for transactions and nested top actions."""
+
+import pytest
+
+from repro.concurrency.txn import TransactionManager, TxnState
+from repro.errors import TransactionError
+from repro.stats.counters import Counters
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord, RecordType
+
+
+@pytest.fixture
+def log() -> LogManager:
+    return LogManager(counters=Counters())
+
+
+@pytest.fixture
+def txns(log) -> TransactionManager:
+    mgr = TransactionManager(log, counters=Counters())
+    mgr.set_undo_applier(lambda rec, clr_lsn: None)
+    return mgr
+
+
+def test_begin_logs_and_registers(txns, log):
+    txn = txns.begin()
+    assert txn.state is TxnState.ACTIVE
+    assert txn.txn_id in txns.active
+    records = list(log.scan())
+    assert records[0].type is RecordType.TXN_BEGIN
+    assert records[0].txn_id == txn.txn_id
+
+
+def test_records_chain_backwards(txns, log):
+    txn = txns.begin()
+    a = txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    b = txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=2))
+    rec_b = log.record_at(b)
+    assert rec_b.prev_lsn == a
+    assert txn.last_lsn == b
+
+
+def test_commit_flushes_and_finalizes(txns, log):
+    txn = txns.begin()
+    txns.commit(txn)
+    assert txn.state is TxnState.COMMITTED
+    assert txn.txn_id not in txns.active
+    durable = [r.type for r in log.scan(durable_only=True)]
+    assert RecordType.TXN_COMMIT in durable
+
+
+def test_commit_twice_raises(txns):
+    txn = txns.begin()
+    txns.commit(txn)
+    with pytest.raises(TransactionError):
+        txns.commit(txn)
+
+
+def test_abort_writes_clrs_and_abort_record(txns, log):
+    undone = []
+    txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
+    txn = txns.begin()
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=2))
+    txns.abort(txn)
+    assert undone == [2, 1]  # reverse order
+    types = [r.type for r in log.scan()]
+    assert types.count(RecordType.CLR) == 2
+    assert types[-1] is RecordType.TXN_ABORT
+    assert txn.state is TxnState.ABORTED
+
+
+def test_completed_nta_skipped_by_rollback(txns, log):
+    undone = []
+    txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
+    txn = txns.begin()
+    txns.begin_nta(txn)
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=10))
+    txns.end_nta(txn)
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=20))
+    txns.abort(txn)
+    assert undone == [20]  # the NTA's record was hopped over
+
+
+def test_abort_nta_undoes_only_the_nta(txns):
+    undone = []
+    txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
+    txn = txns.begin()
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    txns.begin_nta(txn)
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=2))
+    txns.abort_nta(txn)
+    assert undone == [2]
+    assert txn.state is TxnState.ACTIVE
+
+
+def test_nested_ntas(txns):
+    undone = []
+    txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
+    txn = txns.begin()
+    txns.begin_nta(txn)
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    txns.begin_nta(txn)
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=2))
+    txns.end_nta(txn)  # inner completes
+    txns.abort_nta(txn)  # outer aborts: undoes 1 but not 2
+    assert undone == [1]
+    txns.commit(txn)
+
+
+def test_end_nta_without_begin_raises(txns):
+    txn = txns.begin()
+    with pytest.raises(TransactionError):
+        txns.end_nta(txn)
+
+
+def test_clr_not_reundone_on_crash_resume(txns, log):
+    """Rolling back twice (as after a crash mid-rollback) must not
+    double-apply: the CLR chain skips already-undone records."""
+    undone = []
+    txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
+    txn = txns.begin()
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    txns.rollback_to(txn, txn.begin_lsn)
+    txns.rollback_to(txn, txn.begin_lsn)
+    assert undone == [1]  # second rollback found only the CLR and skipped it
+
+
+def test_commit_hooks_run(txns):
+    fired = []
+    txn = txns.begin()
+    txn.commit_hooks.append(lambda: fired.append("commit"))
+    txns.commit(txn)
+    assert fired == ["commit"]
+
+
+def test_abort_hooks_run(txns):
+    fired = []
+    txn = txns.begin()
+    txn.abort_hooks.append(lambda: fired.append("abort"))
+    txns.abort(txn)
+    assert fired == ["abort"]
+
+
+def test_lock_manager_release_on_commit(log):
+    from repro.concurrency.locks import LockManager, LockMode, LockSpace
+
+    locks = LockManager(counters=Counters())
+    txns = TransactionManager(log, counters=Counters())
+    txns.set_undo_applier(lambda rec, clr_lsn: None)
+    txns.lock_manager = locks
+    txn = txns.begin()
+    locks.acquire(txn.txn_id, LockSpace.LOGICAL, "row", LockMode.X)
+    txns.commit(txn)
+    assert not locks.holds(txn.txn_id, LockSpace.LOGICAL, "row")

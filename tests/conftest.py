@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Engine
+from repro.btree.tree import BTree
+
+
+def intkey(i: int) -> bytes:
+    """4-byte big-endian key used throughout the tests."""
+    return i.to_bytes(4, "big")
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh engine with a moderately sized buffer pool."""
+    return Engine(buffer_capacity=2048, lock_timeout=15.0)
+
+
+@pytest.fixture
+def index(engine: Engine) -> BTree:
+    """An empty 4-byte-key index on a fresh engine."""
+    return engine.create_index(key_len=4)
+
+
+def fill_index(index: BTree, count: int, seed: int | None = 42) -> list[int]:
+    """Insert keys 0..count-1 (shuffled unless seed is None); returns order."""
+    order = list(range(count))
+    if seed is not None:
+        random.Random(seed).shuffle(order)
+    for k in order:
+        index.insert(intkey(k), k)
+    return order
+
+
+def make_half_empty(index: BTree, count: int, seed: int = 42) -> list[int]:
+    """Fill with ``count`` keys then delete the even ones; returns survivors."""
+    fill_index(index, count, seed)
+    for k in range(0, count, 2):
+        index.delete(intkey(k), k)
+    return [k for k in range(count) if k % 2 == 1]
+
+
+def contents_as_ints(index: BTree) -> list[int]:
+    return [int.from_bytes(key, "big") for key, _rowid in index.contents()]

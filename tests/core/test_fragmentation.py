@@ -1,0 +1,67 @@
+"""Fragmentation advisor tests (repro.stats.fragmentation)."""
+
+from repro import OnlineRebuild, RebuildConfig
+from repro.stats import analyze_index
+from tests.conftest import fill_index, intkey, make_half_empty
+
+
+def test_fresh_packed_index_not_recommended(engine):
+    from repro.workload import bulk_load, keys_for_config
+
+    keys, klen = keys_for_config("int4", 10000)
+    index = bulk_load(engine, keys, klen, fill=1.0)
+    report = analyze_index(index)
+    assert not report.should_rebuild
+    assert report.utilization > 0.9
+    assert report.declustering < 1.5
+    assert "would not help" in report.reason
+
+
+def test_half_empty_index_recommended(index):
+    make_half_empty(index, 3000)
+    report = analyze_index(index)
+    assert report.should_rebuild
+    assert "utilization" in report.reason
+    assert report.estimated_savings_fraction > 0.3
+
+
+def test_declustered_index_recommended(engine):
+    index = engine.create_index(key_len=4)
+    fill_index(index, 6000, seed=5)  # random order: scattered pages
+    report = analyze_index(index, utilization_threshold=0.2)
+    assert report.should_rebuild
+    assert "declustering" in report.reason
+
+
+def test_estimates_match_actual_rebuild(index):
+    make_half_empty(index, 3000)
+    report = analyze_index(index, fillfactor=1.0)
+    OnlineRebuild(index, RebuildConfig(ntasize=16, xactsize=64)).run()
+    actual = index.verify().leaf_pages
+    assert abs(actual - report.estimated_pages_after) <= max(
+        2, report.estimated_pages_after // 10
+    )
+
+
+def test_rows_and_pages_counted(index):
+    fill_index(index, 500)
+    report = analyze_index(index)
+    assert report.rows == 500
+    assert report.leaf_pages == index.verify().leaf_pages
+
+
+def test_empty_index(index):
+    report = analyze_index(index)
+    assert report.leaf_pages == 1
+    assert report.rows == 0
+    assert not report.should_rebuild
+
+
+def test_thresholds_configurable(index):
+    make_half_empty(index, 2000)
+    strict = analyze_index(index, utilization_threshold=0.99)
+    lax = analyze_index(
+        index, utilization_threshold=0.01, declustering_threshold=1e9
+    )
+    assert strict.should_rebuild
+    assert not lax.should_rebuild

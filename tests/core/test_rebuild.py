@@ -1,0 +1,226 @@
+"""End-to-end online rebuild tests (§3–§6)."""
+
+import pytest
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.errors import RebuildAbortedError, RebuildError
+from repro.storage.page_manager import PageState
+from repro.workload import bulk_load, declustering_metric, keys_for_config
+from tests.conftest import contents_as_ints, fill_index, intkey, make_half_empty
+
+
+def rebuild(index, **kw):
+    defaults = dict(ntasize=8, xactsize=32)
+    defaults.update(kw)
+    return OnlineRebuild(index, RebuildConfig(**defaults)).run()
+
+
+def test_contents_preserved_exactly(index):
+    make_half_empty(index, 3000)
+    before = index.contents()
+    rebuild(index)
+    assert index.contents() == before
+    index.verify()
+
+
+def test_space_utilization_restored(index):
+    make_half_empty(index, 3000)
+    before = index.verify()
+    assert before.leaf_fill < 0.55
+    report = rebuild(index, fillfactor=1.0)
+    after = index.verify()
+    assert after.leaf_fill > 0.95
+    assert after.leaf_pages < before.leaf_pages
+    assert report.leaf_pages_rebuilt == before.leaf_pages
+
+
+def test_fillfactor_leaves_headroom(index):
+    make_half_empty(index, 3000)
+    rebuild(index, fillfactor=0.75)
+    after = index.verify()
+    assert 0.70 <= after.leaf_fill <= 0.80
+
+
+def test_old_pages_deallocated_then_freed(engine, index):
+    make_half_empty(index, 2000)
+    old_leaves = set(index.verify().leaf_page_ids)
+    report = rebuild(index)
+    new_leaves = set(index.verify().leaf_page_ids)
+    assert old_leaves.isdisjoint(new_leaves)
+    for pid in old_leaves:
+        assert engine.ctx.page_manager.state(pid) is PageState.FREE
+    assert report.pages_freed >= len(old_leaves)
+    # Nothing stuck in the deallocated limbo state.
+    assert engine.ctx.page_manager.deallocated_pages() == []
+
+
+def test_new_pages_are_clustered(engine):
+    # Build declustered (random insert order), then rebuild.
+    index = engine.create_index(key_len=4)
+    make_half_empty(index, 4000, seed=7)
+    before = declustering_metric(index)
+    rebuild(index, ntasize=32, xactsize=128)
+    after = declustering_metric(index)
+    assert after < before
+    assert after < 1.5  # §6.1: new leaves contiguous in key order
+
+
+def test_level1_pages_packed(engine):
+    """§5.5: level-1 pages are reorganized during propagation — no
+    separate pass — leaving them nearly full and fewer in number."""
+    keys, klen = keys_for_config("wide40", 20000)
+    index = bulk_load(engine, keys, klen, fill=0.5)
+    rebuild(index, ntasize=32, xactsize=256)
+    after = index.verify()
+    assert after.level1_fill > 0.8
+
+
+def test_level1_reorg_off_leaves_fragmentation(engine):
+    """A1 ablation: without §5.5, level-1 pages end about half empty and
+    twice as numerous."""
+    keys, klen = keys_for_config("wide40", 20000)
+    index = bulk_load(engine, keys, klen, fill=0.5)
+    rebuild(index, ntasize=32, xactsize=256, reorganize_level1=False)
+    naive = index.verify()
+
+    engine2 = Engine(buffer_capacity=4096)
+    index2 = bulk_load(engine2, keys, klen, fill=0.5)
+    OnlineRebuild(
+        index2, RebuildConfig(ntasize=32, xactsize=256)
+    ).run()
+    packed = index2.verify()
+    assert packed.level1_fill > naive.level1_fill + 0.2
+    assert packed.level1_pages < naive.level1_pages
+
+
+def test_ntasize_one_matches_contents(index):
+    make_half_empty(index, 1500)
+    before = index.contents()
+    report = rebuild(index, ntasize=1, xactsize=32)
+    assert index.contents() == before
+    assert report.top_actions == report.leaf_pages_rebuilt
+
+
+def test_larger_ntasize_logs_less(engine):
+    keys, klen = keys_for_config("int4", 20000)
+    results = {}
+    for nta in (1, 32):
+        eng = Engine(buffer_capacity=8192)
+        index = bulk_load(eng, keys, klen, fill=0.5)
+        results[nta] = OnlineRebuild(
+            index, RebuildConfig(ntasize=nta, xactsize=256)
+        ).run()
+    assert results[1].log_bytes > 3 * results[32].log_bytes  # Table 1 shape
+
+
+def test_larger_ntasize_visits_level1_less(engine):
+    keys, klen = keys_for_config("int4", 20000)
+    visits = {}
+    for nta in (1, 32):
+        eng = Engine(buffer_capacity=8192)
+        index = bulk_load(eng, keys, klen, fill=0.5)
+        report = OnlineRebuild(
+            index, RebuildConfig(ntasize=nta, xactsize=256)
+        ).run()
+        visits[nta] = report.counter_deltas["level1_visits"]
+    assert visits[1] > 5 * visits[32]  # §4.3 / §6.2
+
+
+def test_xactsize_bounds_transactions(index):
+    make_half_empty(index, 3000)
+    leaves = index.verify().leaf_pages
+    report = rebuild(index, ntasize=8, xactsize=16)
+    assert report.transactions >= leaves // 16
+
+
+def test_single_leaf_index_is_noop(index):
+    index.insert(intkey(1), 1)
+    report = rebuild(index)
+    assert report.leaf_pages_rebuilt == 0
+    assert index.contains(intkey(1), 1)
+
+
+def test_empty_index_is_noop(index):
+    report = rebuild(index)
+    assert report.leaf_pages_rebuilt == 0
+
+
+def test_two_leaf_index(index):
+    fill_index(index, 300, seed=None)
+    assert index.verify().leaf_pages >= 2
+    before = index.contents()
+    rebuild(index)
+    assert index.contents() == before
+
+
+def test_rebuild_of_freshly_packed_index_is_stable(index):
+    make_half_empty(index, 2000)
+    rebuild(index)
+    first = index.verify()
+    rebuild(index)
+    second = index.verify()
+    assert second.leaf_pages == first.leaf_pages
+    index.verify()
+
+
+def test_concurrent_rebuild_rejected(engine, index):
+    make_half_empty(index, 500)
+    rb = OnlineRebuild(index)
+    index._rebuild_active = True
+    with pytest.raises(RebuildError):
+        rb.run()
+    index._rebuild_active = False
+
+
+def test_abort_keeps_completed_top_actions(engine, index):
+    make_half_empty(index, 3000)
+    before = index.contents()
+    fired = {"count": 0}
+
+    def boom(ctx):
+        fired["count"] += 1
+        if fired["count"] == 3:
+            raise KeyboardInterrupt("user interrupt")
+
+    engine.syncpoints.on("rebuild.nta_end", boom)
+    with pytest.raises(RebuildAbortedError):
+        rebuild(index)
+    engine.syncpoints.clear()
+    # Contents intact, structure valid, partial progress kept.
+    assert index.contents() == before
+    stats = index.verify()
+    # The completed top actions' old pages were freed (§4.1.3).
+    assert engine.ctx.page_manager.deallocated_pages() == []
+    # The rebuild can be resumed (re-run) afterwards.
+    rebuild(index)
+    assert index.contents() == before
+    assert index.verify().leaf_fill > 0.9
+
+
+def test_report_counters(index):
+    make_half_empty(index, 2000)
+    report = rebuild(index, ntasize=8, xactsize=64)
+    assert report.top_actions > 0
+    assert report.transactions > 0
+    assert report.log_bytes > 0
+    assert report.new_leaf_pages > 0
+    assert report.wall_seconds > 0
+    assert not report.aborted
+    assert report.log_bytes_by_type.get("KEYCOPY", 0) > 0
+
+
+def test_wide_key_rebuild(engine):
+    keys, klen = keys_for_config("wide40", 8000)
+    index = bulk_load(engine, keys, klen, fill=0.5)
+    before = index.contents()
+    OnlineRebuild(index, RebuildConfig(ntasize=16, xactsize=64)).run()
+    assert index.contents() == before
+    assert index.verify().leaf_fill > 0.9
+
+
+def test_split_then_shrink_mode_equivalent_result(index):
+    make_half_empty(index, 2000)
+    before = index.contents()
+    rebuild(index, split_then_shrink=True)
+    assert index.contents() == before
+    index.verify()

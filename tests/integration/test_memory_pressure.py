@@ -1,0 +1,78 @@
+"""Tiny-buffer-pool stress: the steal policy (dirty evictions mid-
+transaction) must keep WAL ordering and crash recovery sound."""
+
+import pytest
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.concurrency.syncpoints import CrashPoint
+from tests.conftest import contents_as_ints, fill_index, intkey, make_half_empty
+
+
+@pytest.fixture
+def tiny_engine():
+    # 24 frames: a three-level tree cannot fit; every operation evicts.
+    return Engine(buffer_capacity=24, lock_timeout=15.0)
+
+
+def test_build_under_pressure(tiny_engine):
+    index = tiny_engine.create_index(key_len=4)
+    fill_index(index, 3000)
+    assert contents_as_ints(index) == list(range(3000))
+    index.verify()
+
+
+def test_rebuild_under_pressure(tiny_engine):
+    index = tiny_engine.create_index(key_len=4)
+    make_half_empty(index, 3000)
+    before = index.contents()
+    report = OnlineRebuild(
+        index, RebuildConfig(ntasize=8, xactsize=32)
+    ).run()
+    assert index.contents() == before
+    assert index.verify().leaf_fill > 0.9
+    assert report.pages_freed > 0
+
+
+def test_evicted_dirty_pages_obey_wal(tiny_engine):
+    """Every dirty eviction must flush the log first: after a crash at an
+    arbitrary point, redo can always reconstruct what reached disk."""
+    index = tiny_engine.create_index(key_len=4)
+    fill_index(index, 2000)
+    for k in range(0, 2000, 3):
+        index.delete(intkey(k), k)
+    expected = contents_as_ints(index)
+    # Crash without any flush beyond what evictions already forced.
+    tiny_engine.crash()
+    tiny_engine.recover()
+    index = tiny_engine.index(1)
+    assert contents_as_ints(index) == expected
+    index.verify()
+
+
+def test_crash_mid_rebuild_under_pressure(tiny_engine):
+    index = tiny_engine.create_index(key_len=4)
+    make_half_empty(index, 2500)
+    expected = contents_as_ints(index)
+    fired = {"n": 0}
+
+    def boom(ctx):
+        fired["n"] += 1
+        if fired["n"] == 4:
+            raise CrashPoint("pressure-crash")
+
+    tiny_engine.syncpoints.on("rebuild.nta_end", boom)
+    with pytest.raises(CrashPoint):
+        OnlineRebuild(index, RebuildConfig(ntasize=4, xactsize=8)).run()
+    tiny_engine.crash()
+    tiny_engine.recover()
+    index = tiny_engine.index(1)
+    assert contents_as_ints(index) == expected
+    index.verify()
+    assert tiny_engine.ctx.page_manager.deallocated_pages() == []
+
+
+def test_scan_under_pressure(tiny_engine):
+    index = tiny_engine.create_index(key_len=4)
+    fill_index(index, 2000)
+    got = [int.from_bytes(k, "big") for k, _ in index.scan()]
+    assert got == list(range(2000))

@@ -1,0 +1,155 @@
+"""File-backed persistence: the database survives real process-restart
+semantics (new Engine objects over the same files)."""
+
+import os
+
+import pytest
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.concurrency.syncpoints import CrashPoint
+from tests.conftest import contents_as_ints, intkey
+
+
+@pytest.fixture
+def dbdir(tmp_path):
+    return str(tmp_path / "db")
+
+
+def test_clean_shutdown_and_reopen(dbdir):
+    engine = Engine(storage_dir=dbdir)
+    index = engine.create_index(key_len=4)
+    for k in range(500):
+        index.insert(intkey(k), k, payload=b"v%d" % k)
+    engine.close()
+
+    reopened = Engine.open(dbdir)
+    index = reopened.index(1)
+    assert contents_as_ints(index) == list(range(500))
+    assert index.get(intkey(77), 77) == b"v77"
+    index.verify()
+    reopened.close()
+
+
+def test_unflushed_work_lost_flushed_work_kept(dbdir):
+    engine = Engine(storage_dir=dbdir)
+    index = engine.create_index(key_len=4)
+    index.insert(intkey(1), 1)
+    engine.ctx.log.flush_all()  # durable
+    # Abandon the engine without close(): like a process kill.  The commit
+    # of insert(2) below is flushed (commit forces the log), so it
+    # survives; a begun-but-uncommitted txn does not.
+    index.insert(intkey(2), 2)
+    txn = engine.ctx.txns.begin()
+    index.insert(intkey(3), 3, txn=txn)  # never committed, never flushed
+
+    reopened = Engine.open(dbdir)
+    index = reopened.index(1)
+    got = contents_as_ints(index)
+    assert 1 in got and 2 in got
+    assert 3 not in got
+    index.verify()
+    reopened.close()
+
+
+def test_reopen_after_rebuild(dbdir):
+    engine = Engine(storage_dir=dbdir, buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(2000):
+        index.insert(intkey(k), k)
+    for k in range(0, 2000, 2):
+        index.delete(intkey(k), k)
+    expected = contents_as_ints(index)
+    OnlineRebuild(index, RebuildConfig(ntasize=8, xactsize=32)).run()
+    engine.close()
+
+    reopened = Engine.open(dbdir)
+    index = reopened.index(1)
+    assert contents_as_ints(index) == expected
+    assert index.verify().leaf_fill > 0.9
+    reopened.close()
+
+
+def test_kill_mid_rebuild_then_reopen(dbdir):
+    engine = Engine(storage_dir=dbdir, buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(2000):
+        index.insert(intkey(k), k)
+    for k in range(0, 2000, 2):
+        index.delete(intkey(k), k)
+    expected = contents_as_ints(index)
+    fired = {"n": 0}
+
+    def boom(ctx):
+        fired["n"] += 1
+        if fired["n"] == 3:
+            raise CrashPoint("kill -9")
+
+    engine.syncpoints.on("rebuild.nta_end", boom)
+    with pytest.raises(CrashPoint):
+        OnlineRebuild(index, RebuildConfig(ntasize=4, xactsize=8)).run()
+    # No close(), no crash() call: just walk away from the object.
+
+    reopened = Engine.open(dbdir)
+    index = reopened.index(1)
+    assert contents_as_ints(index) == expected
+    index.verify()
+    assert reopened.ctx.page_manager.deallocated_pages() == []
+    reopened.close()
+
+
+def test_truncation_persists(dbdir):
+    engine = Engine(storage_dir=dbdir)
+    index = engine.create_index(key_len=4)
+    for k in range(400):
+        index.insert(intkey(k), k)
+    engine.checkpoint(truncate=True)
+    wal_size = os.path.getsize(os.path.join(dbdir, "wal.log"))
+    assert wal_size < 64 * 1024
+    engine.close()
+    reopened = Engine.open(dbdir)
+    assert contents_as_ints(reopened.index(1)) == list(range(400))
+    reopened.close()
+
+
+def test_torn_log_tail_discarded(dbdir):
+    engine = Engine(storage_dir=dbdir)
+    index = engine.create_index(key_len=4)
+    index.insert(intkey(1), 1)
+    engine.close()
+    # Corrupt: append half a record's worth of garbage to the WAL.
+    with open(os.path.join(dbdir, "wal.log"), "ab") as f:
+        f.write(b"\xde\xad\xbe\xef" * 5)
+    reopened = Engine.open(dbdir)
+    index = reopened.index(1)
+    assert contents_as_ints(index) == [1]
+    index.verify()
+    # And the engine keeps working (appends go after the repaired tail).
+    index.insert(intkey(2), 2)
+    reopened.close()
+    final = Engine.open(dbdir)
+    assert contents_as_ints(final.index(1)) == [1, 2]
+    final.close()
+
+
+def test_two_generations_of_restarts(dbdir):
+    keys = []
+    for generation in range(3):
+        engine = (
+            Engine(storage_dir=dbdir)
+            if generation == 0
+            else Engine.open(dbdir)
+        )
+        index = (
+            engine.create_index(key_len=4)
+            if generation == 0
+            else engine.index(1)
+        )
+        assert contents_as_ints(index) == sorted(keys)
+        for k in range(generation * 100, generation * 100 + 100):
+            index.insert(intkey(k), k)
+            keys.append(k)
+        engine.close()
+    final = Engine.open(dbdir)
+    assert contents_as_ints(final.index(1)) == sorted(keys)
+    final.index(1).verify()
+    final.close()

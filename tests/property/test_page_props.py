@@ -1,0 +1,143 @@
+"""Property-based tests: page serialization and log-record round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.page import HEADER_SIZE, Page, PageFlag, PageType
+from repro.wal.records import ChainLink, KeyCopyEntry, LogRecord, RecordType
+
+rows_strategy = st.lists(st.binary(min_size=0, max_size=60), max_size=25)
+
+
+@given(
+    rows=rows_strategy,
+    page_type=st.sampled_from(list(PageType)),
+    level=st.integers(min_value=0, max_value=10),
+    prev=st.integers(min_value=0, max_value=2**31),
+    nxt=st.integers(min_value=0, max_value=2**31),
+    lsn=st.integers(min_value=0, max_value=2**60),
+    flags=st.sampled_from(
+        [PageFlag.NONE, PageFlag.SPLIT, PageFlag.SHRINK,
+         PageFlag.SPLIT | PageFlag.OLDPGOFSPLIT]
+    ),
+    side=st.tuples(st.binary(max_size=20), st.integers(0, 2**31)),
+)
+@settings(max_examples=200)
+def test_page_roundtrip(rows, page_type, level, prev, nxt, lsn, flags, side):
+    page = Page(17)
+    page.page_type = page_type
+    page.level = level
+    page.prev_page = prev
+    page.next_page = nxt
+    page.page_lsn = lsn
+    page.flags = flags
+    side_key, side_page = side
+    page.side_key = side_key
+    page.side_page = side_page
+    for row in rows:
+        if page.fits(row):
+            page.append_row(row)
+    back = Page.from_bytes(page.to_bytes())
+    assert back.rows == page.rows
+    assert back.page_type is page.page_type
+    assert back.level == level
+    assert back.prev_page == prev
+    assert back.next_page == nxt
+    assert back.page_lsn == lsn
+    assert back.flags == flags
+    assert back.side_key == side_key
+    assert back.side_page == side_page
+    assert back.used_bytes == page.used_bytes
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=200)
+def test_page_size_accounting_invariant(rows):
+    page = Page(1)
+    for row in rows:
+        if page.fits(row):
+            page.append_row(row)
+    assert page.used_bytes + page.free_bytes == page.page_size
+    assert page.used_bytes >= HEADER_SIZE
+    assert len(page.to_bytes()) == page.page_size
+
+
+record_strategy = st.one_of(
+    st.builds(
+        LogRecord,
+        type=st.just(RecordType.INSERT),
+        page_id=st.integers(0, 2**31),
+        pos=st.integers(0, 2**15),
+        rows=st.lists(st.binary(max_size=50), min_size=1, max_size=1),
+        old_ts=st.integers(0, 2**60),
+    ),
+    st.builds(
+        LogRecord,
+        type=st.sampled_from([RecordType.BATCHINSERT, RecordType.BATCHDELETE]),
+        page_id=st.integers(0, 2**31),
+        pos=st.integers(0, 2**15),
+        rows=st.lists(st.binary(max_size=50), max_size=10),
+    ),
+    st.builds(
+        LogRecord,
+        type=st.just(RecordType.KEYCOPY),
+        pp_page=st.integers(0, 2**31),
+        pp_old_next=st.integers(0, 2**31),
+        pp_new_next=st.integers(0, 2**31),
+        entries=st.lists(
+            st.builds(
+                KeyCopyEntry,
+                src_page=st.integers(0, 2**31),
+                tgt_page=st.integers(0, 2**31),
+                first_pos=st.integers(0, 2**15),
+                last_pos=st.integers(0, 2**15),
+            ),
+            max_size=8,
+        ),
+        target_ts=st.lists(
+            st.tuples(st.integers(0, 2**31), st.integers(0, 2**60)),
+            max_size=8,
+        ),
+        links=st.lists(
+            st.builds(
+                ChainLink,
+                page_id=st.integers(0, 2**31),
+                prev_page=st.integers(0, 2**31),
+                next_page=st.integers(0, 2**31),
+            ),
+            max_size=8,
+        ),
+    ),
+    st.builds(
+        LogRecord,
+        type=st.just(RecordType.DEALLOC),
+        page_id=st.integers(1, 2**31),
+        page_ids=st.lists(st.integers(1, 2**31), min_size=1, max_size=40),
+    ),
+    st.builds(
+        LogRecord,
+        type=st.just(RecordType.ALLOCRUN),
+        page_type=st.integers(0, 2),
+        level=st.integers(0, 8),
+        prev_page=st.integers(0, 2**31),
+        next_page=st.integers(0, 2**31),
+        page_ids=st.lists(st.integers(1, 2**31), min_size=1, max_size=40),
+    ),
+)
+
+
+@given(rec=record_strategy, lsn=st.integers(1, 2**40), txn=st.integers(1, 2**31))
+@settings(max_examples=300)
+def test_log_record_roundtrip(rec, lsn, txn):
+    rec.lsn = lsn
+    rec.txn_id = txn
+    back = LogRecord.decode(rec.encode())
+    assert back.type is rec.type
+    assert back.lsn == lsn
+    assert back.txn_id == txn
+    assert back.rows == rec.rows
+    assert back.entries == rec.entries
+    assert back.target_ts == rec.target_ts
+    assert back.links == rec.links
+    if rec.type in (RecordType.DEALLOC, RecordType.ALLOCRUN):
+        assert back.page_ids == (rec.page_ids or [rec.page_id])

@@ -1,0 +1,60 @@
+"""Property-based tests for suffix compression (the §6.4 prerequisite)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import keys as K
+
+byte_strings = st.binary(min_size=0, max_size=48)
+
+
+@st.composite
+def ordered_pair(draw):
+    a = draw(byte_strings)
+    b = draw(byte_strings)
+    if a == b:
+        b = a + b"\x01"
+    return (a, b) if a < b else (b, a)
+
+
+@given(ordered_pair())
+@settings(max_examples=300)
+def test_separator_partitions_correctly(pair):
+    left, right = pair
+    s = K.separator(left, right)
+    assert left < s <= right
+
+
+@given(ordered_pair())
+@settings(max_examples=300)
+def test_separator_is_shortest(pair):
+    left, right = pair
+    s = K.separator(left, right)
+    # Every strictly shorter prefix of right fails to exceed left.
+    for cut in range(len(s)):
+        assert not left < right[:cut] or not right[:cut] <= right
+
+
+@given(ordered_pair())
+@settings(max_examples=300)
+def test_separator_is_prefix_of_right(pair):
+    left, right = pair
+    s = K.separator(left, right)
+    assert right.startswith(s)
+
+
+@given(st.integers(min_value=0, max_value=2**47 - 1))
+def test_rowid_roundtrip_property(rid):
+    assert K.decode_rowid(K.encode_rowid(rid)) == rid
+
+
+@given(
+    st.binary(min_size=4, max_size=4),
+    st.binary(min_size=4, max_size=4),
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=2**40),
+)
+def test_unit_order_matches_tuple_order(k1, k2, r1, r2):
+    u1 = K.leaf_unit(k1, r1, 4)
+    u2 = K.leaf_unit(k2, r2, 4)
+    assert (u1 < u2) == ((k1, r1) < (k2, r2))

@@ -1,0 +1,200 @@
+"""Unit tests for the buffer pool: pinning, LRU, WAL hook, crash."""
+
+import pytest
+
+from repro.errors import BufferError_, StorageError
+from repro.stats.counters import Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+
+@pytest.fixture
+def counters() -> Counters:
+    return Counters()
+
+
+@pytest.fixture
+def disk(counters) -> Disk:
+    return Disk(counters=counters)
+
+
+@pytest.fixture
+def pool(disk, counters) -> BufferPool:
+    return BufferPool(disk, capacity=8, counters=counters)
+
+
+def put_page(disk: Disk, pid: int, marker: bytes = b"") -> None:
+    page = Page(pid)
+    if marker:
+        page.append_row(marker)
+    disk.write(pid, page.to_bytes())
+
+
+def test_fetch_miss_reads_from_disk(pool, disk):
+    put_page(disk, 1, b"hello")
+    page = pool.fetch(1)
+    assert page.rows == [b"hello"]
+    pool.unpin(1)
+
+
+def test_fetch_missing_page_raises(pool):
+    with pytest.raises(StorageError):
+        pool.fetch(99)
+
+
+def test_fetch_hit_returns_same_object(pool, disk):
+    put_page(disk, 1)
+    a = pool.fetch(1)
+    b = pool.fetch(1)
+    assert a is b
+    pool.unpin(1)
+    pool.unpin(1)
+
+
+def test_unpin_without_pin_raises(pool, disk):
+    put_page(disk, 1)
+    pool.fetch(1)
+    pool.unpin(1)
+    with pytest.raises(BufferError_):
+        pool.unpin(1)
+
+
+def test_new_page_is_pinned_and_dirty(pool):
+    page = pool.new_page(5)
+    assert page.page_id == 5
+    assert pool.pin_count(5) == 1
+    pool.unpin(5)
+    pool.flush_page(5)
+    assert pool.disk.exists(5)
+
+
+def test_new_page_replaces_stale_resident_incarnation(pool, disk):
+    put_page(disk, 3, b"old")
+    old = pool.fetch(3)
+    pool.unpin(3, dirty=True)
+    fresh = pool.new_page(3)
+    assert fresh.rows == []
+    assert fresh is not old
+    # The stale dirty frame must have been written out before replacement.
+    assert Page.from_bytes(disk.read(3)).rows == [b"old"]
+    pool.unpin(3)
+
+
+def test_new_page_on_pinned_frame_raises(pool, disk):
+    put_page(disk, 3)
+    pool.fetch(3)
+    with pytest.raises(BufferError_):
+        pool.new_page(3)
+    pool.unpin(3)
+
+
+def test_lru_eviction_prefers_oldest_unpinned(pool, disk):
+    for pid in range(1, 9):
+        put_page(disk, pid)
+        pool.fetch(pid)
+        pool.unpin(pid)
+    pool.fetch(1)  # refresh page 1
+    pool.unpin(1)
+    put_page(disk, 9)
+    pool.fetch(9)  # evicts page 2 (oldest untouched)
+    pool.unpin(9)
+    assert pool.is_resident(1)
+    assert not pool.is_resident(2)
+
+
+def test_eviction_writes_dirty_page(pool, disk):
+    page = pool.new_page(1)
+    page.append_row(b"dirty")
+    pool.unpin(1, dirty=True)
+    for pid in range(2, 11):
+        put_page(disk, pid)
+        pool.fetch(pid)
+        pool.unpin(pid)
+    assert not pool.is_resident(1)
+    assert Page.from_bytes(disk.read(1)).rows == [b"dirty"]
+
+
+def test_all_pinned_pool_exhaustion(disk, counters):
+    pool = BufferPool(disk, capacity=8, counters=counters)
+    for pid in range(1, 9):
+        put_page(disk, pid)
+        pool.fetch(pid)  # keep pinned
+    put_page(disk, 9)
+    with pytest.raises(BufferError_):
+        pool.fetch(9)
+
+
+def test_wal_hook_called_before_dirty_write(pool):
+    flushed = []
+    pool.set_wal_hook(flushed.append)
+    page = pool.new_page(1)
+    page.page_lsn = 777
+    pool.unpin(1, dirty=True)
+    pool.flush_page(1)
+    assert flushed == [777]
+
+
+def test_flush_pages_batches_and_cleans(pool, counters):
+    for pid in (10, 11, 12):
+        page = pool.new_page(pid)
+        page.append_row(b"x")
+        pool.unpin(pid, dirty=True)
+    before = counters.disk_io_calls
+    pool.flush_pages([10, 11, 12])
+    assert pool.disk.exists(11)
+    # Flushing again writes nothing: frames are clean now.
+    mid = counters.disk_io_calls
+    pool.flush_pages([10, 11, 12])
+    assert counters.disk_io_calls == mid
+    assert before < mid
+
+
+def test_flush_pages_large_io_coalesces(counters):
+    disk = Disk(io_size=2048 * 8, counters=counters)
+    pool = BufferPool(disk, capacity=32, counters=counters)
+    for pid in range(1, 17):
+        page = pool.new_page(pid)
+        pool.unpin(pid, dirty=True)
+    before = counters.disk_io_calls
+    pool.flush_pages(list(range(1, 17)))
+    assert counters.disk_io_calls - before == 2  # 16 contiguous / 8 per IO
+
+
+def test_crash_discards_unflushed(pool, disk):
+    page = pool.new_page(1)
+    page.append_row(b"lost")
+    pool.unpin(1, dirty=True)
+    pool.crash()
+    assert not pool.is_resident(1)
+    assert not disk.exists(1)
+
+
+def test_drop_page_refuses_pinned(pool, disk):
+    put_page(disk, 1)
+    pool.fetch(1)
+    with pytest.raises(BufferError_):
+        pool.drop_page(1)
+    pool.unpin(1)
+    pool.drop_page(1)
+    assert not pool.is_resident(1)
+
+
+def test_large_io_fetch_populates_neighbors(counters):
+    disk = Disk(io_size=2048 * 4, counters=counters)
+    pool = BufferPool(disk, capacity=32, counters=counters)
+    for pid in range(1, 9):
+        put_page(disk, pid, b"p%d" % pid)
+    before = counters.disk_io_calls
+    pool.fetch(2, large_io=True)
+    pool.unpin(2)
+    assert counters.disk_io_calls - before == 1
+    # Pages 1-4 (the aligned run) are now resident without further IO.
+    assert pool.is_resident(1)
+    assert pool.is_resident(4)
+    assert not pool.is_resident(5)
+
+
+def test_minimum_capacity_enforced(disk):
+    with pytest.raises(BufferError_):
+        BufferPool(disk, capacity=2)

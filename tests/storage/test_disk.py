@@ -1,0 +1,118 @@
+"""Unit tests for the simulated disk (repro.storage.disk)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.stats.counters import Counters
+from repro.storage.disk import Disk, _io_calls
+
+
+def image(byte: int, size: int = 2048) -> bytes:
+    return bytes([byte]) * size
+
+
+@pytest.fixture
+def counters() -> Counters:
+    return Counters()
+
+
+def test_write_then_read_roundtrip(counters):
+    disk = Disk(counters=counters)
+    disk.write(1, image(0xAA))
+    assert disk.read(1) == image(0xAA)
+
+
+def test_read_unwritten_page_raises(counters):
+    disk = Disk(counters=counters)
+    with pytest.raises(StorageError):
+        disk.read(5)
+
+
+def test_write_rejects_wrong_size(counters):
+    disk = Disk(counters=counters)
+    with pytest.raises(StorageError):
+        disk.write(1, b"short")
+
+
+def test_io_size_must_be_page_multiple(counters):
+    with pytest.raises(StorageError):
+        Disk(page_size=2048, io_size=3000, counters=counters)
+
+
+def test_single_ops_count_one_call_each(counters):
+    disk = Disk(counters=counters)
+    disk.write(1, image(1))
+    disk.read(1)
+    assert counters.disk_io_calls == 2
+    assert counters.disk_pages_written == 1
+    assert counters.disk_pages_read == 1
+
+
+def test_read_run_batches_with_large_buffers(counters):
+    disk = Disk(io_size=2048 * 8, counters=counters)
+    for pid in range(1, 17):
+        disk.write(pid, image(pid))
+    before = counters.disk_io_calls
+    images = disk.read_run(1, 16)
+    assert counters.disk_io_calls - before == 2  # 16 pages / 8 per IO
+    assert images[0] == image(1)
+    assert images[15] == image(16)
+
+
+def test_read_run_missing_pages_are_none(counters):
+    disk = Disk(io_size=2048 * 4, counters=counters)
+    disk.write(2, image(2))
+    images = disk.read_run(1, 4)
+    assert images[0] is None
+    assert images[1] == image(2)
+    assert images[2] is None
+
+
+def test_write_many_coalesces_contiguous_runs(counters):
+    disk = Disk(io_size=2048 * 8, counters=counters)
+    before = counters.disk_io_calls
+    disk.write_many({pid: image(pid % 250) for pid in range(10, 26)})
+    # 16 contiguous pages through 8-page buffers -> 2 calls.
+    assert counters.disk_io_calls - before == 2
+
+
+def test_write_many_scattered_costs_per_page(counters):
+    disk = Disk(io_size=2048 * 8, counters=counters)
+    before = counters.disk_io_calls
+    disk.write_many({pid: image(1) for pid in (1, 10, 20, 30)})
+    assert counters.disk_io_calls - before == 4
+
+
+def test_write_many_empty_is_free(counters):
+    disk = Disk(counters=counters)
+    before = counters.disk_io_calls
+    disk.write_many({})
+    assert counters.disk_io_calls == before
+
+
+def test_exists_and_drop(counters):
+    disk = Disk(counters=counters)
+    disk.write(3, image(3))
+    assert disk.exists(3)
+    disk.drop(3)
+    assert not disk.exists(3)
+
+
+def test_page_ids_sorted(counters):
+    disk = Disk(counters=counters)
+    for pid in (5, 1, 3):
+        disk.write(pid, image(pid))
+    assert disk.page_ids() == [1, 3, 5]
+
+
+def test_io_calls_helper():
+    assert _io_calls(16, 8) == 2
+    assert _io_calls(17, 8) == 3
+    assert _io_calls(1, 8) == 1
+
+
+def test_durability_write_overwrites(counters):
+    disk = Disk(counters=counters)
+    disk.write(1, image(1))
+    disk.write(1, image(2))
+    assert disk.read(1) == image(2)

@@ -1,0 +1,97 @@
+"""FileDisk: the file-backed page store must match Disk's contract."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.stats.counters import Counters
+from repro.storage.file_disk import FileDisk
+from repro.storage.page import Page
+
+
+@pytest.fixture
+def disk(tmp_path):
+    d = FileDisk(
+        str(tmp_path / "pages.db"),
+        io_size=2048 * 8,
+        counters=Counters(),
+    )
+    yield d
+    d.close()
+
+
+def image(pid: int, marker: bytes = b"") -> bytes:
+    page = Page(pid)
+    if marker:
+        page.append_row(marker)
+    return page.to_bytes()
+
+
+def test_write_read_roundtrip(disk):
+    disk.write(1, image(1, b"hello"))
+    assert disk.read(1) == image(1, b"hello")
+
+
+def test_read_unwritten_raises(disk):
+    with pytest.raises(StorageError):
+        disk.read(9)
+
+
+def test_unwritten_hole_between_pages(disk):
+    disk.write(5, image(5))
+    assert not disk.exists(3)  # inside the file, but all zeroes
+    assert disk.exists(5)
+    with pytest.raises(StorageError):
+        disk.read(3)
+
+
+def test_wrong_size_rejected(disk):
+    with pytest.raises(StorageError):
+        disk.write(1, b"short")
+
+
+def test_read_run_with_holes(disk):
+    disk.write(2, image(2, b"two"))
+    disk.write(4, image(4, b"four"))
+    images = disk.read_run(1, 4)
+    assert images[0] is None
+    assert images[1] == image(2, b"two")
+    assert images[2] is None
+    assert images[3] == image(4, b"four")
+
+
+def test_write_many_coalesces(disk):
+    before = disk.counters.disk_io_calls
+    disk.write_many({pid: image(pid) for pid in range(10, 26)})
+    assert disk.counters.disk_io_calls - before == 2  # 16 pages / 8 per IO
+    assert disk.exists(25)
+
+
+def test_drop_invalidates(disk):
+    disk.write(3, image(3))
+    disk.drop(3)
+    assert not disk.exists(3)
+
+
+def test_page_ids(disk):
+    for pid in (1, 3, 7):
+        disk.write(pid, image(pid))
+    assert disk.page_ids() == [1, 3, 7]
+
+
+def test_persistence_across_instances(tmp_path):
+    path = str(tmp_path / "p.db")
+    first = FileDisk(path, counters=Counters())
+    first.write(2, image(2, b"persisted"))
+    first.close()
+    second = FileDisk(path, counters=Counters())
+    assert second.read(2) == image(2, b"persisted")
+    assert not second.exists(1)
+    second.close()
+
+
+def test_overwrite(disk):
+    disk.write(1, image(1, b"v1"))
+    disk.write(1, image(1, b"v2"))
+    assert disk.read(1) == image(1, b"v2")

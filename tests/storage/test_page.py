@@ -1,0 +1,214 @@
+"""Unit tests for the slotted page layout (repro.storage.page)."""
+
+import pytest
+
+from repro.errors import PageFormatError, PageFullError
+from repro.storage.page import (
+    HEADER_SIZE,
+    NO_PAGE,
+    PAGE_SIZE_DEFAULT,
+    SLOT_OVERHEAD,
+    Page,
+    PageFlag,
+    PageType,
+)
+
+
+def test_new_page_is_empty_raw():
+    page = Page(7)
+    assert page.page_id == 7
+    assert page.page_type is PageType.RAW
+    assert page.nrows == 0
+    assert page.is_empty
+    assert page.prev_page == NO_PAGE
+    assert page.next_page == NO_PAGE
+
+
+def test_used_bytes_counts_header_slots_and_rows():
+    page = Page(1)
+    assert page.used_bytes == HEADER_SIZE
+    page.append_row(b"abcde")
+    assert page.used_bytes == HEADER_SIZE + SLOT_OVERHEAD + 5
+    page.append_row(b"xy")
+    assert page.used_bytes == HEADER_SIZE + 2 * SLOT_OVERHEAD + 7
+
+
+def test_free_bytes_complements_used():
+    page = Page(1)
+    page.append_row(b"1234")
+    assert page.free_bytes == PAGE_SIZE_DEFAULT - page.used_bytes
+
+
+def test_fits_accounts_for_slot_overhead():
+    page = Page(1)
+    row = b"x" * (page.free_bytes - SLOT_OVERHEAD)
+    assert page.fits(row)
+    assert not page.fits(row + b"y")
+
+
+def test_insert_row_past_capacity_raises():
+    page = Page(1)
+    big = b"x" * 1000
+    page.append_row(big)
+    page.append_row(big)
+    with pytest.raises(PageFullError):
+        page.append_row(big)
+
+
+def test_insert_row_positions():
+    page = Page(1)
+    page.append_row(b"b")
+    page.insert_row(0, b"a")
+    page.insert_row(2, b"c")
+    assert page.rows == [b"a", b"b", b"c"]
+
+
+def test_insert_row_bad_position_raises():
+    page = Page(1)
+    with pytest.raises(PageFormatError):
+        page.insert_row(1, b"x")
+
+
+def test_delete_row_returns_removed():
+    page = Page(1)
+    page.append_row(b"a")
+    page.append_row(b"b")
+    assert page.delete_row(0) == b"a"
+    assert page.rows == [b"b"]
+
+
+def test_delete_row_bad_position_raises():
+    page = Page(1)
+    with pytest.raises(PageFormatError):
+        page.delete_row(0)
+
+
+def test_delete_rows_range():
+    page = Page(1)
+    for token in (b"a", b"b", b"c", b"d"):
+        page.append_row(token)
+    removed = page.delete_rows(1, 3)
+    assert removed == [b"b", b"c"]
+    assert page.rows == [b"a", b"d"]
+
+
+def test_delete_rows_bad_range_raises():
+    page = Page(1)
+    page.append_row(b"a")
+    with pytest.raises(PageFormatError):
+        page.delete_rows(0, 2)
+
+
+def test_replace_row_checks_growth():
+    page = Page(1)
+    page.append_row(b"small")
+    filler = b"f" * (page.free_bytes - SLOT_OVERHEAD)
+    page.append_row(filler)
+    with pytest.raises(PageFullError):
+        page.replace_row(0, b"small-but-now-much-bigger")
+    assert page.replace_row(0, b"tiny!") == b"small"
+
+
+def test_flags_set_clear_check():
+    page = Page(1)
+    assert not page.has_flag(PageFlag.SPLIT)
+    page.set_flag(PageFlag.SPLIT)
+    page.set_flag(PageFlag.OLDPGOFSPLIT)
+    assert page.has_flag(PageFlag.SPLIT)
+    assert page.has_flag(PageFlag.OLDPGOFSPLIT)
+    assert not page.has_flag(PageFlag.SHRINK)
+    page.clear_flag(PageFlag.SPLIT)
+    assert not page.has_flag(PageFlag.SPLIT)
+    assert page.has_flag(PageFlag.OLDPGOFSPLIT)
+
+
+def test_side_entry_counts_against_space_and_clears():
+    page = Page(1)
+    page.set_side_entry(b"sidekey", 42)
+    assert page.side_page == 42
+    assert page.used_bytes == HEADER_SIZE + len(b"sidekey")
+    page.set_flag(PageFlag.OLDPGOFSPLIT)
+    page.clear_side_entry()
+    assert page.side_page == NO_PAGE
+    assert page.side_key == b""
+    assert not page.has_flag(PageFlag.OLDPGOFSPLIT)
+
+
+def test_side_entry_overflow_raises():
+    page = Page(1)
+    page.append_row(b"x" * 1990)
+    with pytest.raises(PageFullError):
+        page.set_side_entry(b"k" * 100, 3)
+
+
+def test_serialization_roundtrip_preserves_everything():
+    page = Page(9)
+    page.index_id = 3
+    page.page_type = PageType.LEAF
+    page.level = 0
+    page.prev_page = 4
+    page.next_page = 11
+    page.page_lsn = 123456789
+    page.set_flag(PageFlag.SPLIT)
+    page.set_side_entry(b"side", 10)
+    page.set_flag(PageFlag.OLDPGOFSPLIT)
+    for i in range(10):
+        page.append_row(bytes([i]) * (i + 1))
+    data = page.to_bytes()
+    assert len(data) == PAGE_SIZE_DEFAULT
+    back = Page.from_bytes(data)
+    assert back.page_id == 9
+    assert back.index_id == 3
+    assert back.page_type is PageType.LEAF
+    assert back.prev_page == 4
+    assert back.next_page == 11
+    assert back.page_lsn == 123456789
+    assert back.has_flag(PageFlag.SPLIT)
+    assert back.has_flag(PageFlag.OLDPGOFSPLIT)
+    assert back.side_key == b"side"
+    assert back.side_page == 10
+    assert back.rows == page.rows
+
+
+def test_from_bytes_rejects_wrong_length():
+    with pytest.raises(PageFormatError):
+        Page.from_bytes(b"\x00" * 100)
+
+
+def test_from_bytes_rejects_bad_magic():
+    with pytest.raises(PageFormatError):
+        Page.from_bytes(b"\xff" * PAGE_SIZE_DEFAULT)
+
+
+def test_copy_is_deep():
+    page = Page(1)
+    page.append_row(b"a")
+    clone = page.copy()
+    clone.append_row(b"b")
+    assert page.nrows == 1
+    assert clone.nrows == 2
+
+
+def test_fill_fraction():
+    page = Page(1)
+    assert page.fill_fraction() == 0.0
+    page.append_row(b"x" * ((page.capacity_bytes // 2) - SLOT_OVERHEAD))
+    assert 0.45 < page.fill_fraction() < 0.55
+
+
+def test_custom_page_size():
+    page = Page(1, page_size=512)
+    assert page.capacity_bytes == 512 - HEADER_SIZE
+    page.append_row(b"q" * 100)
+    data = page.to_bytes()
+    assert len(data) == 512
+    assert Page.from_bytes(data, page_size=512).rows == page.rows
+
+
+def test_serialization_full_page_exact_fit():
+    page = Page(1)
+    row = b"r" * 100
+    while page.fits(row):
+        page.append_row(row)
+    assert len(page.to_bytes()) == PAGE_SIZE_DEFAULT
+    assert Page.from_bytes(page.to_bytes()).nrows == page.nrows

@@ -1,0 +1,287 @@
+"""Unit tests for physical redo/undo of individual record types."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.stats.counters import Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page, PageType
+from repro.storage.page_manager import PageManager, PageState
+from repro.wal.apply import ApplyContext, redo_record, undo_record
+from repro.wal.records import KeyCopyEntry, LogRecord, RecordType
+
+
+@pytest.fixture
+def ctx() -> ApplyContext:
+    counters = Counters()
+    disk = Disk(counters=counters)
+    return ApplyContext(
+        BufferPool(disk, capacity=64, counters=counters),
+        PageManager(disk, counters=counters),
+    )
+
+
+def put_page(ctx: ApplyContext, pid: int, rows=(), ts: int = 0) -> None:
+    ctx.page_manager.force_state(pid, PageState.ALLOCATED)
+    page = Page(pid)
+    page.page_type = PageType.LEAF
+    page.page_lsn = ts
+    for r in rows:
+        page.append_row(r)
+    ctx.buffer.disk.write(pid, page.to_bytes())
+
+
+def get_rows(ctx: ApplyContext, pid: int) -> list[bytes]:
+    page = ctx.buffer.fetch(pid)
+    rows = list(page.rows)
+    ctx.buffer.unpin(pid)
+    return rows
+
+
+def get_ts(ctx: ApplyContext, pid: int) -> int:
+    page = ctx.buffer.fetch(pid)
+    ts = page.page_lsn
+    ctx.buffer.unpin(pid)
+    return ts
+
+
+def test_redo_insert_applies_when_stale(ctx):
+    put_page(ctx, 1, [b"a", b"c"], ts=10)
+    rec = LogRecord(type=RecordType.INSERT, page_id=1, pos=1, rows=[b"b"], lsn=20)
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 1) == [b"a", b"b", b"c"]
+    assert get_ts(ctx, 1) == 20
+
+
+def test_redo_insert_skips_when_current(ctx):
+    put_page(ctx, 1, [b"a"], ts=30)
+    rec = LogRecord(type=RecordType.INSERT, page_id=1, pos=0, rows=[b"z"], lsn=20)
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 1) == [b"a"]  # untouched: ts 30 >= lsn 20
+
+
+def test_redo_is_idempotent(ctx):
+    put_page(ctx, 1, [b"a"], ts=10)
+    rec = LogRecord(type=RecordType.INSERT, page_id=1, pos=0, rows=[b"0"], lsn=20)
+    redo_record(rec, ctx)
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 1) == [b"0", b"a"]
+
+
+def test_redo_batchdelete(ctx):
+    put_page(ctx, 1, [b"a", b"b", b"c", b"d"], ts=5)
+    rec = LogRecord(
+        type=RecordType.BATCHDELETE, page_id=1, pos=1, rows=[b"b", b"c"], lsn=9
+    )
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 1) == [b"a", b"d"]
+
+
+def test_redo_links_and_format(ctx):
+    put_page(ctx, 1, ts=5)
+    redo_record(
+        LogRecord(type=RecordType.CHANGEPREVLINK, page_id=1, new_prev=7, lsn=6),
+        ctx,
+    )
+    redo_record(
+        LogRecord(type=RecordType.CHANGENEXTLINK, page_id=1, new_next=8, lsn=7),
+        ctx,
+    )
+    redo_record(
+        LogRecord(
+            type=RecordType.FORMAT, page_id=1, page_type=2, level=3,
+            prev_page=0, next_page=0, lsn=8,
+        ),
+        ctx,
+    )
+    page = ctx.buffer.fetch(1)
+    assert page.prev_page == 0  # FORMAT overwrote the link
+    assert page.level == 3
+    assert page.page_type is PageType.NONLEAF
+    ctx.buffer.unpin(1)
+
+
+def test_redo_alloc_creates_fresh_page(ctx):
+    rec = LogRecord(
+        type=RecordType.ALLOC, page_id=5, page_type=1, level=0,
+        prev_page=4, next_page=6, lsn=50,
+    )
+    redo_record(rec, ctx)
+    assert ctx.page_manager.state(5) is PageState.ALLOCATED
+    page = ctx.buffer.fetch(5)
+    assert page.page_type is PageType.LEAF
+    assert page.prev_page == 4
+    assert page.page_lsn == 50
+    ctx.buffer.unpin(5)
+
+
+def test_redo_alloc_skips_newer_incarnation(ctx):
+    put_page(ctx, 5, [b"current"], ts=100)
+    rec = LogRecord(type=RecordType.ALLOC, page_id=5, page_type=1, lsn=50)
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 5) == [b"current"]
+
+
+def test_redo_allocrun_chains_pages(ctx):
+    rec = LogRecord(
+        type=RecordType.ALLOCRUN, page_id=10, page_type=1, level=0,
+        prev_page=9, next_page=20, page_ids=[10, 11, 12], lsn=60,
+    )
+    redo_record(rec, ctx)
+    p10 = ctx.buffer.fetch(10)
+    p11 = ctx.buffer.fetch(11)
+    p12 = ctx.buffer.fetch(12)
+    assert (p10.prev_page, p10.next_page) == (9, 11)
+    assert (p11.prev_page, p11.next_page) == (10, 12)
+    assert (p12.prev_page, p12.next_page) == (11, 20)
+    for pid in (10, 11, 12):
+        ctx.buffer.unpin(pid)
+        assert ctx.page_manager.state(pid) is PageState.ALLOCATED
+
+
+def test_redo_dealloc_batch(ctx):
+    for pid in (1, 2):
+        put_page(ctx, pid)
+    rec = LogRecord(type=RecordType.DEALLOC, page_id=1, page_ids=[1, 2], lsn=5)
+    redo_record(rec, ctx)
+    assert ctx.page_manager.state(1) is PageState.DEALLOCATED
+    assert ctx.page_manager.state(2) is PageState.DEALLOCATED
+
+
+def test_redo_keycopy_rereads_sources(ctx):
+    put_page(ctx, 1, [b"k1", b"k2", b"k3"], ts=5)   # source (never changed)
+    put_page(ctx, 2, [b"k0"], ts=7)                 # target PP, stale
+    rec = LogRecord(
+        type=RecordType.KEYCOPY, page_id=2, pp_page=2, pp_old_next=1,
+        pp_new_next=0, lsn=40,
+        entries=[KeyCopyEntry(1, 2, 0, 2)],
+        target_ts=[(2, 7)],
+    )
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 2) == [b"k0", b"k1", b"k2", b"k3"]
+    page = ctx.buffer.fetch(2)
+    assert page.next_page == 0
+    assert page.page_lsn == 40
+    ctx.buffer.unpin(2)
+
+
+def test_redo_keycopy_skips_flushed_target(ctx):
+    put_page(ctx, 1, [b"k1"], ts=5)
+    put_page(ctx, 2, [b"k0", b"k1"], ts=40)  # target already has the copy
+    rec = LogRecord(
+        type=RecordType.KEYCOPY, page_id=2, pp_page=2, pp_old_next=1,
+        pp_new_next=0, lsn=40,
+        entries=[KeyCopyEntry(1, 2, 0, 0)],
+        target_ts=[(2, 7)],
+    )
+    redo_record(rec, ctx)
+    assert get_rows(ctx, 2) == [b"k0", b"k1"]
+
+
+def test_redo_keycopy_detects_timestamp_corruption(ctx):
+    put_page(ctx, 2, [b"k0"], ts=33)  # neither the old ts nor past the lsn
+    rec = LogRecord(
+        type=RecordType.KEYCOPY, page_id=2, pp_page=2, lsn=40,
+        entries=[], target_ts=[(2, 7)],
+    )
+    with pytest.raises(RecoveryError):
+        redo_record(rec, ctx)
+
+
+def test_undo_insert_removes_and_verifies(ctx):
+    put_page(ctx, 1, [b"a", b"b"], ts=20)
+    rec = LogRecord(
+        type=RecordType.INSERT, page_id=1, pos=0, rows=[b"a"], lsn=20, old_ts=10
+    )
+    undo_record(rec, ctx, clr_lsn=30)
+    assert get_rows(ctx, 1) == [b"b"]
+    assert get_ts(ctx, 1) == 30
+
+
+def test_undo_insert_mismatch_raises(ctx):
+    put_page(ctx, 1, [b"X", b"b"], ts=20)
+    rec = LogRecord(
+        type=RecordType.INSERT, page_id=1, pos=0, rows=[b"a"], lsn=20
+    )
+    with pytest.raises(RecoveryError):
+        undo_record(rec, ctx, clr_lsn=30)
+
+
+def test_undo_delete_reinserts(ctx):
+    put_page(ctx, 1, [b"a"], ts=20)
+    rec = LogRecord(
+        type=RecordType.BATCHDELETE, page_id=1, pos=1, rows=[b"b", b"c"], lsn=20
+    )
+    undo_record(rec, ctx, clr_lsn=30)
+    assert get_rows(ctx, 1) == [b"a", b"b", b"c"]
+
+
+def test_undo_alloc_frees_page(ctx):
+    redo_record(
+        LogRecord(type=RecordType.ALLOC, page_id=5, page_type=1, lsn=50), ctx
+    )
+    undo_record(
+        LogRecord(type=RecordType.ALLOC, page_id=5, page_type=1, lsn=50),
+        ctx,
+        clr_lsn=60,
+    )
+    assert ctx.page_manager.state(5) is PageState.FREE
+    assert not ctx.buffer.is_resident(5)
+
+
+def test_undo_dealloc_restores_allocated(ctx):
+    put_page(ctx, 1)
+    ctx.page_manager.force_state(1, PageState.DEALLOCATED)
+    undo_record(
+        LogRecord(type=RecordType.DEALLOC, page_id=1, lsn=5), ctx, clr_lsn=9
+    )
+    assert ctx.page_manager.state(1) is PageState.ALLOCATED
+
+
+def test_undo_keycopy_removes_appended_rows(ctx):
+    put_page(ctx, 2, [b"k0", b"k1", b"k2"], ts=40)  # after the copy
+    rec = LogRecord(
+        type=RecordType.KEYCOPY, page_id=2, pp_page=2, pp_old_next=1,
+        pp_new_next=9, lsn=40,
+        entries=[KeyCopyEntry(1, 2, 0, 1)],
+        target_ts=[(2, 7)],
+    )
+    undo_record(rec, ctx, clr_lsn=50)
+    assert get_rows(ctx, 2) == [b"k0"]
+    page = ctx.buffer.fetch(2)
+    assert page.next_page == 1  # PP's old next restored
+    ctx.buffer.unpin(2)
+
+
+def test_undo_keycopy_skips_target_that_never_got_the_copy(ctx):
+    put_page(ctx, 2, [b"k0"], ts=7)  # still at the old timestamp
+    rec = LogRecord(
+        type=RecordType.KEYCOPY, page_id=2, pp_page=2, lsn=40,
+        entries=[KeyCopyEntry(1, 2, 0, 0)],
+        target_ts=[(2, 7)],
+    )
+    undo_record(rec, ctx, clr_lsn=50)
+    assert get_rows(ctx, 2) == [b"k0"]
+
+
+def test_clr_redo_applies_inverse_once(ctx):
+    put_page(ctx, 1, [b"a", b"b"], ts=20)
+    original = LogRecord(
+        type=RecordType.INSERT, page_id=1, pos=0, rows=[b"a"], lsn=20
+    )
+    clr = LogRecord(
+        type=RecordType.CLR, page_id=1, undone_lsn=20, lsn=45,
+    )
+    clr.resolved_undone = original
+    redo_record(clr, ctx)
+    assert get_rows(ctx, 1) == [b"b"]
+    # Idempotent: the page is now stamped at the CLR's LSN.
+    redo_record(clr, ctx)
+    assert get_rows(ctx, 1) == [b"b"]
+
+
+def test_clr_redo_without_resolution_raises(ctx):
+    clr = LogRecord(type=RecordType.CLR, page_id=1, undone_lsn=20, lsn=45)
+    with pytest.raises(RecoveryError):
+        redo_record(clr, ctx)

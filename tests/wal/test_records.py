@@ -1,0 +1,190 @@
+"""Round-trip and size tests for every log record type."""
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.wal.records import (
+    RECORD_OVERHEAD,
+    ChainLink,
+    KeyCopyEntry,
+    LogRecord,
+    RecordType,
+)
+
+
+def roundtrip(rec: LogRecord) -> LogRecord:
+    rec.lsn = 1000
+    rec.prev_lsn = 500
+    rec.txn_id = 7
+    data = rec.encode()
+    assert len(data) == rec.size
+    back = LogRecord.decode(data)
+    assert back.type is rec.type
+    assert back.lsn == 1000
+    assert back.prev_lsn == 500
+    assert back.txn_id == 7
+    return back
+
+
+def test_overhead_constant_matches_paper():
+    # §4.3: per-record bookkeeping "as high as 60 bytes".
+    assert RECORD_OVERHEAD == 60
+    rec = LogRecord(type=RecordType.TXN_BEGIN)
+    assert rec.size == RECORD_OVERHEAD
+
+
+def test_txn_records_header_only():
+    for t in (RecordType.TXN_BEGIN, RecordType.TXN_COMMIT, RecordType.TXN_ABORT):
+        back = roundtrip(LogRecord(type=t))
+        assert back.size == RECORD_OVERHEAD
+
+
+def test_nta_end_preserves_undo_next():
+    rec = LogRecord(type=RecordType.NTA_END, undo_next_lsn=333)
+    back = roundtrip(rec)
+    assert back.undo_next_lsn == 333
+
+
+def test_insert_record():
+    rec = LogRecord(
+        type=RecordType.INSERT, page_id=12, pos=3, rows=[b"therow"], old_ts=9
+    )
+    back = roundtrip(rec)
+    assert back.page_id == 12
+    assert back.pos == 3
+    assert back.rows == [b"therow"]
+    assert back.old_ts == 9
+    assert back.size == RECORD_OVERHEAD + 4 + 6
+
+
+def test_delete_record():
+    back = roundtrip(LogRecord(type=RecordType.DELETE, pos=0, rows=[b"x"]))
+    assert back.rows == [b"x"]
+
+
+def test_batch_records_carry_full_rows():
+    rows = [b"aaa", b"bb", b"cccc"]
+    for t in (RecordType.BATCHINSERT, RecordType.BATCHDELETE):
+        back = roundtrip(LogRecord(type=t, pos=5, rows=list(rows)))
+        assert back.pos == 5
+        assert back.rows == rows
+        assert back.size == RECORD_OVERHEAD + 4 + sum(2 + len(r) for r in rows)
+
+
+def test_batching_amortizes_overhead():
+    # §4.3's point: one batched record of N rows is far smaller than N
+    # singleton records.
+    rows = [b"k" * 10 for _ in range(50)]
+    batch = LogRecord(type=RecordType.BATCHINSERT, pos=0, rows=rows)
+    singles = sum(
+        LogRecord(type=RecordType.INSERT, pos=0, rows=[r]).size for r in rows
+    )
+    assert batch.size < singles / 4
+
+
+def test_keycopy_record_roundtrip_and_no_keys():
+    rec = LogRecord(
+        type=RecordType.KEYCOPY,
+        page_id=2,
+        pp_page=2,
+        pp_old_next=3,
+        pp_new_next=10,
+        entries=[KeyCopyEntry(3, 10, 0, 99), KeyCopyEntry(4, 10, 0, 49)],
+        target_ts=[(2, 111), (10, 0)],
+        links=[ChainLink(10, 2, 5)],
+    )
+    back = roundtrip(rec)
+    assert back.pp_page == 2
+    assert back.pp_old_next == 3
+    assert back.pp_new_next == 10
+    assert back.entries == rec.entries
+    assert back.target_ts == rec.target_ts
+    assert back.links == rec.links
+    # §4.1.2: positions only, never key bytes — size is independent of how
+    # many keys were copied.
+    assert back.size < 200
+
+
+def test_keycopy_entry_count():
+    assert KeyCopyEntry(1, 2, 10, 19).count == 10
+
+
+def test_alloc_record_carries_format():
+    rec = LogRecord(
+        type=RecordType.ALLOC, page_id=8, page_type=1, level=0,
+        prev_page=7, next_page=9,
+    )
+    back = roundtrip(rec)
+    assert back.page_type == 1
+    assert back.level == 0
+    assert back.prev_page == 7
+    assert back.next_page == 9
+
+
+def test_allocrun_record():
+    rec = LogRecord(
+        type=RecordType.ALLOCRUN, page_id=20, page_type=1, level=0,
+        prev_page=19, next_page=30, page_ids=[20, 21, 22],
+    )
+    back = roundtrip(rec)
+    assert back.page_ids == [20, 21, 22]
+    assert back.prev_page == 19
+    assert back.next_page == 30
+
+
+def test_dealloc_record_batches_ids():
+    rec = LogRecord(type=RecordType.DEALLOC, page_id=4, page_ids=[4, 5, 6])
+    back = roundtrip(rec)
+    assert back.page_ids == [4, 5, 6]
+    assert back.page_id == 4
+
+
+def test_dealloc_single_defaults_to_page_id():
+    rec = LogRecord(type=RecordType.DEALLOC, page_id=4)
+    back = roundtrip(rec)
+    assert back.page_ids == [4]
+
+
+def test_link_records():
+    back = roundtrip(
+        LogRecord(type=RecordType.CHANGEPREVLINK, old_prev=1, new_prev=2)
+    )
+    assert (back.old_prev, back.new_prev) == (1, 2)
+    back = roundtrip(
+        LogRecord(type=RecordType.CHANGENEXTLINK, old_next=3, new_next=4)
+    )
+    assert (back.old_next, back.new_next) == (3, 4)
+
+
+def test_format_record_old_and_new():
+    rec = LogRecord(
+        type=RecordType.FORMAT, page_type=2, level=1, prev_page=0,
+        next_page=0, old_format=(1, 0, 5, 6),
+    )
+    back = roundtrip(rec)
+    assert back.page_type == 2
+    assert back.level == 1
+    assert back.old_format == (1, 0, 5, 6)
+
+
+def test_clr_record():
+    back = roundtrip(
+        LogRecord(type=RecordType.CLR, undone_lsn=42, undo_next_lsn=10)
+    )
+    assert back.undone_lsn == 42
+    assert back.undo_next_lsn == 10
+
+
+def test_checkpoint_record_json():
+    payload = {"page_manager": {"states": {"1": "allocated"}, "next_new": 2}}
+    back = roundtrip(
+        LogRecord(type=RecordType.CHECKPOINT, payload_json=payload)
+    )
+    assert back.payload_json == payload
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(LogFormatError):
+        LogRecord.decode(b"\x00" * 10)
+    with pytest.raises(LogFormatError):
+        LogRecord.decode(b"\xff" * RECORD_OVERHEAD)

@@ -1,0 +1,96 @@
+"""Log truncation at checkpoints (the §7 [SBC97] contrast: inline
+reorganization never pins the log)."""
+
+import pytest
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.errors import WALError
+from repro.wal.records import LogRecord, RecordType
+from tests.conftest import contents_as_ints, fill_index, intkey, make_half_empty
+
+
+def test_truncate_drops_durable_prefix(engine):
+    log = engine.ctx.log
+    a = log.append(LogRecord(type=RecordType.TXN_BEGIN, txn_id=1))
+    b = log.append(LogRecord(type=RecordType.TXN_COMMIT, txn_id=1))
+    log.flush_all()
+    dropped = log.truncate_before(b)
+    assert dropped == 1
+    assert log.first_lsn == b
+    assert [r.lsn for r in log.scan()] == [b]
+
+
+def test_truncate_refuses_unflushed(engine):
+    log = engine.ctx.log
+    log.append(LogRecord(type=RecordType.TXN_BEGIN, txn_id=1))
+    end = log.next_lsn
+    with pytest.raises(WALError):
+        log.truncate_before(end)
+
+
+def test_record_at_raises_for_truncated_lsn(engine):
+    log = engine.ctx.log
+    a = log.append(LogRecord(type=RecordType.TXN_BEGIN, txn_id=1))
+    b = log.append(LogRecord(type=RecordType.TXN_COMMIT, txn_id=1))
+    log.flush_all()
+    log.truncate_before(b)
+    with pytest.raises(WALError):
+        log.record_at(a)
+
+
+def test_checkpoint_truncate_shrinks_log(engine, index):
+    fill_index(index, 1000)
+    before = engine.ctx.log.buffered_bytes()
+    engine.checkpoint(truncate=True)
+    after = engine.ctx.log.buffered_bytes()
+    assert after < before / 10
+
+
+def test_recovery_after_truncating_checkpoint(engine, index):
+    fill_index(index, 800)
+    engine.checkpoint(truncate=True)
+    for k in range(10_000, 10_100):
+        index.insert(intkey(k), k)
+    engine.crash()
+    engine.recover()
+    index = engine.index(1)
+    expected = sorted(list(range(800)) + list(range(10_000, 10_100)))
+    assert contents_as_ints(index) == expected
+    index.verify()
+
+
+def test_active_txn_pins_truncation(engine, index):
+    index.insert(intkey(1), 1)
+    txn = engine.ctx.txns.begin()
+    index.insert(intkey(2), 2, txn=txn)
+    engine.ctx.log.flush_all()
+    engine.checkpoint(truncate=True)
+    # The active txn's records must survive so it can still roll back.
+    assert engine.ctx.log.first_lsn <= txn.begin_lsn
+    engine.ctx.txns.abort(txn)
+    assert contents_as_ints(index) == [1]
+
+
+def test_checkpoints_during_rebuild_truncate(engine, index):
+    """§7: unlike sidefile schemes, the log can be truncated mid-rebuild —
+    between rebuild transactions there is nothing active to pin it."""
+    make_half_empty(index, 3000)
+    expected = contents_as_ints(index)
+    sizes = []
+
+    def checkpoint_between_txns(ctx):
+        engine.checkpoint(truncate=True)
+        sizes.append(engine.ctx.log.buffered_bytes())
+
+    engine.syncpoints.on("rebuild.txn_committed", checkpoint_between_txns)
+    OnlineRebuild(index, RebuildConfig(ntasize=8, xactsize=16)).run()
+    engine.syncpoints.clear()
+    assert len(sizes) >= 2
+    # Each checkpoint kept the retained log tiny (just the checkpoint).
+    assert max(sizes) < 16 * 1024
+    # And the result is still correct and crash-safe.
+    assert contents_as_ints(index) == expected
+    engine.crash()
+    engine.recover()
+    assert contents_as_ints(engine.index(1)) == expected
+    engine.index(1).verify()

@@ -1,0 +1,76 @@
+"""Key generator tests: ordering, determinism, and the Table 1 separator
+targets (avg nonleaf row ~10 B for int4, ~20 B for wide40)."""
+
+from repro.btree import keys as K
+from repro.workload import keygen
+
+
+def test_int4_keys_ordered():
+    keys = [keygen.int4_key(i) for i in range(1000)]
+    assert keys == sorted(keys)
+    assert all(len(k) == 4 for k in keys)
+
+
+def test_int4_roundtrip():
+    assert keygen.int4_value(keygen.int4_key(123456)) == 123456
+
+
+def test_wide40_length_and_determinism():
+    a = keygen.wide40_key(42)
+    b = keygen.wide40_key(42)
+    assert a == b
+    assert len(a) == 40
+
+
+def test_wide40_groups_share_prefix():
+    a = keygen.wide40_key(0)
+    b = keygen.wide40_key(1)
+    assert a[:13] == b[:13]
+    far = keygen.wide40_key(10 * keygen.WIDE40_GROUP_SIZE)
+    assert a[:13] != far[:13]
+
+
+def test_wide40_unique():
+    keys = {keygen.wide40_key(i) for i in range(5000)}
+    assert len(keys) == 5000
+
+
+def test_keys_for_config():
+    keys, klen = keygen.keys_for_config("int4", 10)
+    assert klen == 4 and len(keys) == 10
+    keys, klen = keygen.keys_for_config("wide40", 10)
+    assert klen == 40 and len(keys) == 10
+
+
+def test_keys_for_config_rejects_unknown():
+    import pytest
+
+    with pytest.raises(ValueError):
+        keygen.keys_for_config("huge", 10)
+
+
+def _avg_nonleaf_row(config: str, count: int = 4000) -> float:
+    """Average separator-based nonleaf row size for sorted adjacent units."""
+    keys, klen = keygen.keys_for_config(config, count)
+    units = sorted(
+        K.leaf_unit(key, i, klen) for i, key in enumerate(keys)
+    )
+    # Sample separators at leaf-boundary-like strides.
+    seps = [
+        K.separator(units[i - 1], units[i])
+        for i in range(40, len(units), 40)
+    ]
+    child_and_slot = 4 + 2
+    return sum(len(s) for s in seps) / len(seps) + child_and_slot
+
+
+def test_int4_average_nonleaf_row_matches_paper():
+    # Paper Table 1: key size 4 -> avg nonleaf row ~10 bytes.
+    avg = _avg_nonleaf_row("int4")
+    assert 8 <= avg <= 11, avg
+
+
+def test_wide40_average_nonleaf_row_matches_paper():
+    # Paper Table 1: key size 40 with suffix compression -> ~20 bytes.
+    avg = _avg_nonleaf_row("wide40")
+    assert 17 <= avg <= 24, avg

@@ -1,0 +1,51 @@
+"""MixedWorkload driver tests."""
+
+from repro import Engine
+from repro.workload import MixedWorkload
+from tests.conftest import intkey
+
+
+def test_mixed_workload_runs_and_counts():
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 2000, 2):
+        index.insert(intkey(k), k)
+    workload = MixedWorkload(
+        index, intkey, key_count=2000, threads=3, write_fraction=0.7,
+    )
+    stats = workload.run_for(0.5)
+    assert stats.errors == []
+    assert stats.operations > 0
+    assert stats.duration_seconds >= 0.5
+    assert stats.ops_per_second > 0
+    index.verify()
+
+
+def test_writers_confined_to_odd_ordinals():
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 2000, 2):
+        index.insert(intkey(k), k)
+    workload = MixedWorkload(
+        index, intkey, key_count=2000, threads=2, write_fraction=1.0,
+    )
+    workload.run_for(0.3)
+    # Even keys are untouched.
+    for k in range(0, 2000, 2):
+        assert index.contains(intkey(k), k)
+
+
+def test_read_only_workload():
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 1000):
+        index.insert(intkey(k), k)
+    before = index.contents()
+    workload = MixedWorkload(
+        index, intkey, key_count=1000, threads=2, write_fraction=0.0,
+    )
+    stats = workload.run_for(0.3)
+    assert stats.errors == []
+    assert stats.scans > 0
+    assert stats.inserts == stats.deletes == 0
+    assert index.contents() == before

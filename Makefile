@@ -1,0 +1,12 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-quick
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_perf.py
+
+bench-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_perf.py --quick

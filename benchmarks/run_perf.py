@@ -1,0 +1,12 @@
+#!/usr/bin/env python
+"""Perf-trajectory driver — thin wrapper over :mod:`repro.bench.perf`.
+
+Usage (see ``docs/performance.md`` for the trajectory workflow)::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--quick] [--json out.json]
+"""
+
+from repro.bench.perf import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Reusable benchmark drivers (importable so CI and console scripts can run
+them without the ``benchmarks/`` pytest harness)."""
+
+from repro.bench.perf import PerfResult, main, run_scenario
+
+__all__ = ["PerfResult", "main", "run_scenario"]

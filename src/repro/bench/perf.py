@@ -1,0 +1,229 @@
+"""Perf-trajectory harness: the repo's canonical end-to-end hot-path scenario.
+
+Every perf-focused PR runs this driver before and after its change and
+appends the numbers to ``BENCH_PR<n>.json`` so the trajectory toward the
+ROADMAP's "as fast as the hardware allows" north star is a recorded series,
+not an anecdote.  The scenario exercises every hot path the engine has:
+
+1. **build** — bulk-load a ~50k-key int4 index at 90% fill (leaf packing,
+   chunk allocation, large-I/O flushes);
+2. **fragment** — a deterministic update mix through the *real*
+   insert/delete paths: insert the odd-ordinal half of the key space in
+   shuffled order (forcing splits on the nearly-full leaves), then delete a
+   random third of the even ordinals (forcing shrinks).  This reproduces the
+   paper's "index needs rebuilding" precondition;
+3. **rebuild** — an online rebuild with the paper's chosen ``ntasize=32``
+   (§6.4) while a 4-thread mixed OLTP workload hammers the odd key space,
+   so latching, locking, and counter increments all happen under
+   contention.
+
+Wall/CPU seconds and the full counter snapshot of each phase are emitted as
+JSON.  Keys, update mix, and thread seeds are all derived from ``--seed``,
+so operation counts are reproducible run to run (thread interleaving makes
+the OLTP throughput itself vary, which is reported separately and not part
+of the measured build+rebuild time).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/run_perf.py            # full scenario
+    PYTHONPATH=src python benchmarks/run_perf.py --quick    # CI smoke (~8k keys)
+    repro-perf --json out.json                              # installed entry point
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.config import RebuildConfig
+from repro.core.rebuild import OnlineRebuild
+from repro.engine import Engine
+from repro.stats.counters import Timer
+from repro.workload.builder import bulk_load
+from repro.workload.keygen import INT4_KEY_LEN, int4_key
+from repro.workload.runner import MixedWorkload
+
+DEFAULT_KEYS = 50_000
+QUICK_KEYS = 8_000
+NTASIZE = 32
+
+
+@dataclass
+class PerfResult:
+    """Everything one scenario run measured."""
+
+    config: dict = field(default_factory=dict)
+    phases: dict = field(default_factory=dict)
+    total_wall_seconds: float = 0.0
+    total_cpu_seconds: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "config": self.config,
+                "phases": self.phases,
+                "total_wall_seconds": self.total_wall_seconds,
+                "total_cpu_seconds": self.total_cpu_seconds,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _phase(result: PerfResult, name: str, engine: Engine, fn) -> object:
+    """Run ``fn`` timed, recording wall/CPU and the counter deltas."""
+    before = engine.counters.snapshot()
+    timer = Timer()
+    with timer:
+        out = fn()
+    result.phases[name] = {
+        "wall_seconds": round(timer.wall_seconds, 4),
+        "cpu_seconds": round(timer.cpu_seconds, 4),
+        "counters": engine.counters.diff(before),
+    }
+    result.total_wall_seconds += timer.wall_seconds
+    result.total_cpu_seconds += timer.cpu_seconds
+    return out
+
+
+def run_scenario(
+    key_count: int = DEFAULT_KEYS,
+    seed: int = 42,
+    traffic_threads: int = 4,
+    buffer_capacity: int = 16384,
+    io_size: int = 16384,
+) -> PerfResult:
+    """Build, fragment, and online-rebuild an index; return all timings.
+
+    ``traffic_threads=0`` disables the concurrent OLTP workload during the
+    rebuild (useful when profiling the rebuild path alone).
+    """
+    result = PerfResult(
+        config={
+            "key_count": key_count,
+            "seed": seed,
+            "traffic_threads": traffic_threads,
+            "buffer_capacity": buffer_capacity,
+            "io_size": io_size,
+            "ntasize": NTASIZE,
+        }
+    )
+    engine = Engine(
+        buffer_capacity=buffer_capacity, io_size=io_size, lock_timeout=120.0
+    )
+    rnd = random.Random(seed)
+
+    # Phase 1: bulk-load the even-ordinal half at 90% fill.
+    even_keys = [int4_key(i) for i in range(0, key_count, 2)]
+    tree = _phase(
+        result,
+        "build",
+        engine,
+        lambda: bulk_load(engine, even_keys, INT4_KEY_LEN, fill=0.9),
+    )
+
+    # Phase 2: fragmenting update mix through the real insert/delete paths.
+    def fragment() -> None:
+        odd = list(range(1, key_count, 2))
+        rnd.shuffle(odd)
+        for i in odd:
+            tree.insert(int4_key(i), i)
+        evens = list(range(0, key_count, 2))
+        victims = rnd.sample(evens, len(evens) // 3)
+        for ordinal in victims:
+            tree.delete(int4_key(ordinal), ordinal // 2)
+
+    _phase(result, "fragment", engine, fragment)
+
+    # Phase 3: online rebuild (ntasize 32) under concurrent OLTP traffic.
+    workload = None
+    if traffic_threads > 0:
+        workload = MixedWorkload(
+            tree,
+            int4_key,
+            key_count,
+            threads=traffic_threads,
+            write_fraction=0.8,
+            seed=seed,
+        )
+
+    def rebuild():
+        if workload is not None:
+            workload.start()
+        try:
+            rebuild_cfg = RebuildConfig(ntasize=NTASIZE)
+            return OnlineRebuild(tree, rebuild_cfg).run()
+        finally:
+            if workload is not None:
+                workload.stop()
+
+    report = _phase(result, "rebuild", engine, rebuild)
+    result.phases["rebuild"]["leaf_pages_rebuilt"] = report.leaf_pages_rebuilt
+    result.phases["rebuild"]["top_actions"] = report.top_actions
+    if workload is not None:
+        stats = workload.stats
+        result.phases["rebuild"]["oltp"] = {
+            "operations": stats.operations,
+            "ops_per_second": round(stats.ops_per_second, 1),
+            "errors": len(stats.errors),
+        }
+        if stats.errors:  # pragma: no cover - surfaced for debugging
+            result.phases["rebuild"]["oltp"]["first_error"] = stats.errors[0]
+
+    result.total_wall_seconds = round(result.total_wall_seconds, 4)
+    result.total_cpu_seconds = round(result.total_cpu_seconds, 4)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the repo's perf-trajectory scenario and emit JSON."
+    )
+    parser.add_argument(
+        "--keys", type=int, default=None,
+        help=f"key count (default {DEFAULT_KEYS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke mode: {QUICK_KEYS} keys, no OLTP traffic",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--threads", type=int, default=4,
+        help="OLTP threads during the rebuild (0 disables traffic)",
+    )
+    parser.add_argument(
+        "--json", default="-",
+        help="output path for the JSON report ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    key_count = args.keys
+    threads = args.threads
+    if args.quick:
+        key_count = key_count or QUICK_KEYS
+        threads = 0
+    key_count = key_count or DEFAULT_KEYS
+
+    result = run_scenario(
+        key_count=key_count, seed=args.seed, traffic_threads=threads
+    )
+    payload = result.to_json()
+    if args.json == "-":
+        print(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(
+            f"wall={result.total_wall_seconds}s cpu={result.total_cpu_seconds}s "
+            f"-> {args.json}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ from repro.stats.counters import Counters
 from repro.storage.page import Page, PageType
 
 CHILD_LEN = 4
+_CHILD_MAX = b"\xff" * CHILD_LEN  # compares above any real child page id
 
 
 class IndexEntry(NamedTuple):
@@ -71,16 +72,22 @@ def leaf_search(page: Page, unit: bytes, counters: Counters) -> tuple[int, bool]
     ``position`` is where the unit is, or where it would be inserted.
     """
     rows = page.rows
-    width = len(unit)
     lo, hi = 0, len(rows)
+    probes = 0
     while lo < hi:
-        mid = (lo + hi) // 2
-        counters.add("key_comparisons")
-        if rows[mid][:width] < unit:
+        mid = (lo + hi) >> 1
+        probes += 1
+        # Comparing the whole row equals comparing its ``len(unit)``-byte
+        # prefix: rows at least as long as the unit agree with their
+        # prefix on ``< unit`` (a longer row with an equal prefix sorts
+        # >= unit either way), so no per-probe slice is allocated.
+        if rows[mid] < unit:
             lo = mid + 1
         else:
             hi = mid
-    found = lo < len(rows) and rows[lo][:width] == unit
+    if probes:
+        counters.add("key_comparisons", probes)
+    found = lo < len(rows) and rows[lo].startswith(unit)
     return lo, found
 
 
@@ -113,13 +120,26 @@ def child_search(page: Page, unit: bytes, counters: Counters) -> tuple[int, int]
     if not rows:
         raise TreeStructureError(f"nonleaf {page.page_id} has no entries")
     lo, hi = 1, len(rows)  # entry 0 always qualifies (no key)
+    probes = 0
+    # ``sep <= unit`` equals ``row <= unit + 0xff*CHILD_LEN`` whenever the
+    # separator has exactly ``len(unit)`` bytes (the child-id suffix is
+    # always < 0xffffffff), so equal-length rows compare without slicing.
+    unit_hi = unit + _CHILD_MAX
+    full_len = len(unit) + CHILD_LEN
     while lo < hi:
-        mid = (lo + hi) // 2
-        counters.add("key_comparisons")
-        if entry_key(rows[mid]) <= unit:
+        mid = (lo + hi) >> 1
+        probes += 1
+        row = rows[mid]
+        if (
+            row <= unit_hi
+            if len(row) == full_len
+            else row[: len(row) - CHILD_LEN] <= unit
+        ):
             lo = mid + 1
         else:
             hi = mid
+    if probes:
+        counters.add("key_comparisons", probes)
     pos = lo - 1
     return pos, entry_child(rows[pos])
 
@@ -130,13 +150,23 @@ def entry_insert_pos(page: Page, key: bytes, counters: Counters) -> int:
     lo, hi = 1, len(rows)  # never before the keyless first entry
     if not rows:
         return 0
+    probes = 0
+    key_hi = key + _CHILD_MAX  # same no-slice trick as child_search
+    full_len = len(key) + CHILD_LEN
     while lo < hi:
-        mid = (lo + hi) // 2
-        counters.add("key_comparisons")
-        if entry_key(rows[mid]) <= key:
+        mid = (lo + hi) >> 1
+        probes += 1
+        row = rows[mid]
+        if (
+            row <= key_hi
+            if len(row) == full_len
+            else row[: len(row) - CHILD_LEN] <= key
+        ):
             lo = mid + 1
         else:
             hi = mid
+    if probes:
+        counters.add("key_comparisons", probes)
     return lo
 
 def find_child_entry(page: Page, child: int) -> int:

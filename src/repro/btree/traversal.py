@@ -62,11 +62,15 @@ class Traversal:
         neither SPLIT nor SHRINK bit; reader mode returns it S latched.
         """
         ctx = self.ctx
-        ctx.counters.add("traversals")
+        counters = ctx.counters
+        get_latched = ctx.get_latched
+        release_page = ctx.release_page
+        child_search = node.child_search
+        counters.add("traversals")
         first_attempt = True
         while True:
             if not first_attempt:
-                ctx.counters.add("retraversals")
+                counters.add("retraversals")
             first_attempt = False
 
             p = self._start_page(unit, target_level, mode)
@@ -81,8 +85,8 @@ class Traversal:
                     if child_level == target_level and mode is AccessMode.WRITER
                     else LatchMode.S
                 )
-                _pos, child_id = node.child_search(p, unit, ctx.counters)
-                c = ctx.get_latched(child_id, child_mode)
+                _pos, child_id = child_search(p, unit, counters)
+                c = get_latched(child_id, child_mode)
 
                 resolved, blocked_id = self._resolve_child(
                     c, unit, child_mode, txn
@@ -90,14 +94,14 @@ class Traversal:
                 if resolved is None:
                     # SHRINK in the way: release everything and block for
                     # the top action via an instant S address lock (§2.6).
-                    ctx.release_page(p.page_id)
+                    release_page(p.page_id)
                     assert blocked_id is not None
                     ctx.locks.wait_instant(
                         txn.txn_id, LockSpace.ADDRESS, blocked_id, LockMode.S
                     )
                     restart = True
                     break
-                ctx.release_page(p.page_id)
+                release_page(p.page_id)
                 p = resolved
 
             if restart:

@@ -62,7 +62,10 @@ class BTree:
         self.update_journal = None
         self._op_gate: "threading.Event | None" = None
         self._active_ops = 0
-        self._op_cond = threading.Condition()
+        # Raw mutex kept alongside the condition so the per-operation
+        # enter/exit bumps take the C-level lock fast path.
+        self._op_mutex = threading.Lock()
+        self._op_cond = threading.Condition(self._op_mutex)
 
     # ----------------------------------------------------------------- create
 
@@ -115,22 +118,23 @@ class BTree:
         """
         unit = K.leaf_unit(key, rowid, self.key_len)
         row = unit + payload
+        ctx = self.ctx
         with self._operation(txn) as op:
             if self.lock_rows:
-                self.ctx.locks.acquire(
+                ctx.locks.acquire(
                     op.txn_id, LockSpace.LOGICAL, unit, LockMode.X
                 )
-            traversal = Traversal(self.ctx, self)
+            traversal = Traversal(ctx, self)
             while True:
                 leaf = traversal.traverse(unit, AccessMode.WRITER, 0, op)
-                pos, found = node.leaf_search(leaf, unit, self.ctx.counters)
+                pos, found = node.leaf_search(leaf, unit, ctx.counters)
                 if found:
-                    self.ctx.release_page(leaf.page_id)
+                    ctx.release_page(leaf.page_id)
                     raise DuplicateKeyError(
                         f"(key={key!r}, rowid={rowid}) already present"
                     )
                 if leaf.fits(row):
-                    self.ctx.log_page_change(
+                    ctx.log_page_change(
                         op,
                         LogRecord(
                             type=RecordType.INSERT,
@@ -141,12 +145,14 @@ class BTree:
                         leaf,
                     )
                     leaf.insert_row(pos, row)
-                    self.ctx.release_page(leaf.page_id, dirty=True)
-                    self._journal_append(("i", key, rowid, payload))
+                    ctx.release_page(leaf.page_id, dirty=True)
+                    journal = self.update_journal
+                    if journal is not None:
+                        journal.append(("i", key, rowid, payload))
                     break
                 # Full: run the split top action (which takes ownership of
                 # the latched leaf), then retry the insert from the top.
-                split_leaf(self.ctx, self, op, leaf, traversal)
+                split_leaf(ctx, self, op, leaf, traversal)
 
     def delete(
         self, key: bytes, rowid: int, txn: Transaction | None = None
@@ -157,21 +163,22 @@ class BTree:
         unless the leaf is the root.
         """
         unit = K.leaf_unit(key, rowid, self.key_len)
+        ctx = self.ctx
         with self._operation(txn) as op:
             if self.lock_rows:
-                self.ctx.locks.acquire(
+                ctx.locks.acquire(
                     op.txn_id, LockSpace.LOGICAL, unit, LockMode.X
                 )
-            traversal = Traversal(self.ctx, self)
+            traversal = Traversal(ctx, self)
             leaf = traversal.traverse(unit, AccessMode.WRITER, 0, op)
-            pos, found = node.leaf_search(leaf, unit, self.ctx.counters)
+            pos, found = node.leaf_search(leaf, unit, ctx.counters)
             if not found:
-                self.ctx.release_page(leaf.page_id)
+                ctx.release_page(leaf.page_id)
                 raise KeyNotFoundError(
                     f"(key={key!r}, rowid={rowid}) not in index"
                 )
             row = leaf.rows[pos]  # full row: the payload must undo too
-            self.ctx.log_page_change(
+            ctx.log_page_change(
                 op,
                 LogRecord(
                     type=RecordType.DELETE,
@@ -292,13 +299,20 @@ class BTree:
         gate = self._op_gate
         if gate is not None:
             gate.wait()
-        with self._op_cond:
-            self._active_ops += 1
+        mutex = self._op_mutex
+        mutex.acquire()
+        self._active_ops += 1
+        mutex.release()
 
     def _exit_gate(self) -> None:
-        with self._op_cond:
+        mutex = self._op_mutex
+        mutex.acquire()
+        try:
             self._active_ops -= 1
-            self._op_cond.notify_all()
+            if self._op_gate is not None:  # someone may be quiescing
+                self._op_cond.notify_all()
+        finally:
+            mutex.release()
 
     def close_gate_and_quiesce(self, timeout: float = 60.0) -> None:
         """Suspend new operations and wait out the in-flight ones.

@@ -48,48 +48,83 @@ class LatchManager:
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
         self.timeout = timeout
         self._latches: dict[int, _Latch] = defaultdict(_Latch)
-        self._cond = threading.Condition()
-        self._held: dict[int, dict[int, LatchMode]] = defaultdict(dict)
-        # thread ident -> {page_id: mode}
+        # A plain Lock (not the default RLock) backs the condition: latch
+        # methods never nest, and Lock's fast path is cheaper.  The mutex
+        # is kept separately so the hot paths can acquire/release it
+        # directly (C-level) instead of through Condition's __enter__.
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._local = threading.local()  # .held: {page_id: mode}, per thread
+        self._waiting = 0  # threads blocked in acquire, across all latches
+
+    def _my_held(self) -> dict[int, LatchMode]:
+        """The calling thread's held-latch map (created on first use)."""
+        local = self._local
+        try:
+            return local.held
+        except AttributeError:
+            held: dict[int, LatchMode] = {}
+            local.held = held
+            return held
 
     # ---------------------------------------------------------------- acquire
 
     def acquire(self, page_id: int, mode: LatchMode) -> None:
         """Block until the latch is granted (watchdog-bounded)."""
         me = threading.get_ident()
-        self.counters.add("latch_acquires")
-        with self._cond:
-            if page_id in self._held[me]:
+        try:
+            held = self._local.held
+        except AttributeError:
+            held = self._my_held()
+        self.counters.local_shard()["latch_acquires"] += 1
+        mutex = self._mutex
+        mutex.acquire()
+        try:
+            if page_id in held:
                 raise LatchError(
                     f"thread already holds latch on page {page_id}; "
                     "latches are not re-entrant"
                 )
             latch = self._latches[page_id]
-            if not self._grantable(latch, mode):
-                self.counters.add("latch_waits")
-                latch.waiters += 1
-                try:
-                    deadline = threading.TIMEOUT_MAX
-                    waited = 0.0
-                    while not self._grantable(latch, mode):
-                        if not self._cond.wait(timeout=self.timeout):
-                            raise LockTimeoutError(
-                                f"latch wait on page {page_id} ({mode.value}) "
-                                f"exceeded {self.timeout}s watchdog"
-                            )
-                        waited += self.timeout
-                        if waited > deadline:  # pragma: no cover
-                            break
-                finally:
-                    latch.waiters -= 1
+            # Uncontended grant, inline (the overwhelmingly common case).
+            if latch.x_holder is None and (
+                mode is LatchMode.S or not latch.s_holders
+            ):
+                if mode is LatchMode.X:
+                    latch.x_holder = me
+                else:
+                    latch.s_holders.add(me)
+                held[page_id] = mode
+                return
+            self.counters.add("latch_waits")
+            latch.waiters += 1
+            self._waiting += 1
+            try:
+                deadline = threading.TIMEOUT_MAX
+                waited = 0.0
+                while not self._grantable(latch, mode):
+                    if not self._cond.wait(timeout=self.timeout):
+                        raise LockTimeoutError(
+                            f"latch wait on page {page_id} ({mode.value}) "
+                            f"exceeded {self.timeout}s watchdog"
+                        )
+                    waited += self.timeout
+                    if waited > deadline:  # pragma: no cover
+                        break
+            finally:
+                latch.waiters -= 1
+                self._waiting -= 1
             self._grant(latch, page_id, mode, me)
+        finally:
+            mutex.release()
 
     def try_acquire(self, page_id: int, mode: LatchMode) -> bool:
         """Conditional acquire; never blocks."""
         me = threading.get_ident()
-        self.counters.add("latch_acquires")
+        held = self._my_held()
+        self.counters.local_shard()["latch_acquires"] += 1
         with self._cond:
-            if page_id in self._held[me]:
+            if page_id in held:
                 raise LatchError(
                     f"thread already holds latch on page {page_id}"
                 )
@@ -101,8 +136,14 @@ class LatchManager:
 
     def release(self, page_id: int) -> None:
         me = threading.get_ident()
-        with self._cond:
-            mode = self._held[me].pop(page_id, None)
+        try:
+            held = self._local.held
+        except AttributeError:
+            held = self._my_held()
+        mutex = self._mutex
+        mutex.acquire()
+        try:
+            mode = held.pop(page_id, None)
             if mode is None:
                 raise LatchError(
                     f"thread does not hold a latch on page {page_id}"
@@ -115,23 +156,23 @@ class LatchManager:
             if not latch.s_holders and latch.x_holder is None:
                 if latch.waiters == 0:
                     del self._latches[page_id]
-            self._cond.notify_all()
+            if self._waiting:
+                self._cond.notify_all()
+        finally:
+            mutex.release()
 
     def release_all(self) -> None:
         """Release every latch the calling thread holds (error recovery)."""
-        me = threading.get_ident()
-        with self._cond:
-            pages = list(self._held[me])
-        for page_id in pages:
+        for page_id in list(self._my_held()):
             self.release(page_id)
 
     # ------------------------------------------------------------- inspection
 
     def held_by_me(self) -> dict[int, LatchMode]:
-        return dict(self._held[threading.get_ident()])
+        return dict(self._my_held())
 
     def holds(self, page_id: int, mode: LatchMode | None = None) -> bool:
-        held = self._held[threading.get_ident()].get(page_id)
+        held = self._my_held().get(page_id)
         if held is None:
             return False
         return mode is None or held is mode
@@ -152,4 +193,4 @@ class LatchManager:
             latch.x_holder = me
         else:
             latch.s_holders.add(me)
-        self._held[me][page_id] = mode
+        self._my_held()[page_id] = mode

@@ -188,12 +188,16 @@ class LockManager:
 
     def release_all(self, txn_id: int, space: LockSpace | None = None) -> None:
         """Release every lock a transaction holds (in ``space``, or all)."""
+        if txn_id not in self._held:
+            # Lock-free fast path: entries for this txn are only ever added
+            # by its own thread, so absence here is stable.
+            return
         with self._cond:
-            keys = [
-                k
-                for k in self._held[txn_id]
-                if space is None or k[0] is space
-            ]
+            held = self._held.get(txn_id)
+            if not held:
+                self._held.pop(txn_id, None)  # drop an empty leftover entry
+                return
+            keys = [k for k in held if space is None or k[0] is space]
         for key in keys:
             self.release(txn_id, key[0], key[1])
 

@@ -44,6 +44,16 @@ class TxnState(enum.Enum):
 class Transaction:
     """One transaction's log chain, NTA stack, and lifecycle hooks."""
 
+    __slots__ = (
+        "txn_id",
+        "state",
+        "last_lsn",
+        "begin_lsn",
+        "_nta_stack",
+        "commit_hooks",
+        "abort_hooks",
+    )
+
     def __init__(self, txn_id: int) -> None:
         self.txn_id = txn_id
         self.state = TxnState.ACTIVE
@@ -86,26 +96,38 @@ class TransactionManager:
     # -------------------------------------------------------------- lifecycle
 
     def begin(self) -> Transaction:
+        """Register a transaction; no record is logged (ARIES-style).
+
+        The transaction's first logged record implies BEGIN: recovery
+        treats any record with an unseen txn id as the start of that
+        transaction, so ``begin``/``commit`` pairs that never log a change
+        (read-only operations) leave no trace in the log at all.
+        """
         with self._lock:
             txn = Transaction(next(self._ids))
             self.active[txn.txn_id] = txn
-        rec = LogRecord(type=RecordType.TXN_BEGIN, txn_id=txn.txn_id)
-        txn.begin_lsn = self.append(txn, rec)
         return txn
 
     def append(self, txn: Transaction, record: LogRecord) -> int:
         """Log a record on behalf of ``txn``, maintaining the prev chain."""
-        self._check_active(txn)
+        if txn.state is not TxnState.ACTIVE:
+            self._check_active(txn)
         record.txn_id = txn.txn_id
         record.prev_lsn = txn.last_lsn
         lsn = self.log.append(record)
         txn.last_lsn = lsn
+        if txn.begin_lsn == 0:
+            txn.begin_lsn = lsn  # first record: the implicit BEGIN
         return lsn
 
     def commit(self, txn: Transaction) -> None:
-        self._check_active(txn)
-        lsn = self.append(txn, LogRecord(type=RecordType.TXN_COMMIT))
-        self.log.flush_to(lsn)
+        if txn.last_lsn:
+            lsn = self.append(
+                txn, LogRecord.header_record(RecordType.TXN_COMMIT)
+            )
+            self.log.flush_to(lsn)
+        elif txn.state is not TxnState.ACTIVE:
+            self._check_active(txn)
         txn.state = TxnState.COMMITTED
         with self._lock:
             self.active.pop(txn.txn_id, None)
@@ -117,8 +139,11 @@ class TransactionManager:
         """Roll the transaction back completely and release it."""
         self._check_active(txn)
         self.rollback_to(txn, 0)
-        lsn = self.append(txn, LogRecord(type=RecordType.TXN_ABORT))
-        self.log.flush_to(lsn)
+        if txn.last_lsn:
+            lsn = self.append(
+                txn, LogRecord.header_record(RecordType.TXN_ABORT)
+            )
+            self.log.flush_to(lsn)
         txn.state = TxnState.ABORTED
         with self._lock:
             self.active.pop(txn.txn_id, None)
@@ -132,7 +157,7 @@ class TransactionManager:
         """Open a nested top action; the undo point is the current last LSN."""
         self._check_active(txn)
         txn._nta_stack.append(txn.last_lsn)
-        self.append(txn, LogRecord(type=RecordType.NTA_BEGIN))
+        self.append(txn, LogRecord.header_record(RecordType.NTA_BEGIN))
 
     def end_nta(self, txn: Transaction) -> int:
         """Close the innermost NTA with a dummy CLR over its records."""
@@ -142,7 +167,9 @@ class TransactionManager:
                 f"txn {txn.txn_id} has no open nested top action"
             )
         undo_point = txn._nta_stack.pop()
-        rec = LogRecord(type=RecordType.NTA_END, undo_next_lsn=undo_point)
+        rec = LogRecord.header_record(
+            RecordType.NTA_END, undo_next_lsn=undo_point
+        )
         return self.append(txn, rec)
 
     def abort_nta(self, txn: Transaction) -> None:

@@ -130,9 +130,10 @@ class EngineContext:
         except Exception:
             self.latches.release(page_id)
             raise
-        self.counters.add("pages_visited")
+        shard = self.counters.local_shard()
+        shard["pages_visited"] += 1
         if page.level == 1:
-            self.counters.add("level1_visits")
+            shard["level1_visits"] += 1
         return page
 
     def release_page(self, page_id: int, dirty: bool = False) -> None:

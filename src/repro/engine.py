@@ -142,7 +142,11 @@ class Engine:
         if truncate:
             safe = lsn
             for txn in self.ctx.txns.active.values():
-                safe = min(safe, txn.begin_lsn)
+                # begin_lsn == 0 means the txn has logged nothing yet; its
+                # future records all land past this checkpoint, so it does
+                # not pin the log.
+                if txn.begin_lsn:
+                    safe = min(safe, txn.begin_lsn)
             self.ctx.log.truncate_before(safe)
         return lsn
 

@@ -9,76 +9,123 @@ snapshot and diff it around the measured region.
 The counter names mirror the costs the paper attributes to small
 ``ntasize`` (§4.3, §6.2): calls to the lock manager and latch manager,
 visits to level-1 pages, log bytes, and raw byte copying.
+
+**Sharding.**  ``add`` is called on the hottest paths in the engine (every
+key comparison, latch acquire, page read).  A single global lock per
+increment serializes every worker thread on instrumentation, so instead
+each thread increments its own *shard* — a plain per-thread dict it alone
+writes — and readers (``snapshot`` / ``diff`` / attribute access) merge the
+shards on demand.  Increments are lock-free; merges take a lock only to
+guard the shard registry.  A thread's counts survive the thread: shards
+stay registered after their owner exits, so post-``join`` snapshots are
+exact.  ``reset`` assumes a quiescent instance (benchmark phase
+boundaries), as concurrent increments may straddle the zeroing.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, fields
+
+COUNTER_FIELDS: tuple[str, ...] = (
+    # Latch / lock manager traffic.
+    "latch_acquires",
+    "latch_waits",
+    "lock_mgr_calls",
+    "lock_waits",
+    "lock_wait_us",      # total blocked time on locks, microseconds
+    # Page traffic.
+    "page_reads",        # logical page reads through the buffer pool
+    "page_writes",       # logical page writes (dirty evict or force)
+    "disk_io_calls",     # physical I/O calls (large buffers batch these)
+    "disk_pages_read",
+    "disk_pages_written",
+    # Tree traffic.
+    "traversals",
+    "retraversals",
+    "level1_visits",     # visits to level-1 pages (paper §4.3)
+    "pages_visited",
+    "key_comparisons",
+    "bytes_copied",
+    # Logging.
+    "log_records",
+    "log_bytes",
+    # Rebuild structure.
+    "top_actions",
+    "rebuild_transactions",
+    "leaf_pages_rebuilt",
+    "new_pages_allocated",
+)
+
+_FIELD_SET = frozenset(COUNTER_FIELDS)
 
 
-@dataclass
 class Counters:
     """Thread-safe bag of monotonically increasing operation counters.
 
-    Attributes are plain integers; use :meth:`add` (or the convenience
-    ``bump``) from hot paths, and :meth:`snapshot` / :meth:`diff` from
-    benchmarks.
+    Reading ``counters.page_reads`` (or any name in
+    :data:`COUNTER_FIELDS`) merges the per-thread shards and returns the
+    total; use :meth:`add` (or the convenience ``bump``) from hot paths,
+    and :meth:`snapshot` / :meth:`diff` from benchmarks.
     """
 
-    # Latch / lock manager traffic.
-    latch_acquires: int = 0
-    latch_waits: int = 0
-    lock_mgr_calls: int = 0
-    lock_waits: int = 0
-    lock_wait_us: int = 0  # total blocked time on locks, microseconds
+    __slots__ = ("_lock", "_base", "_local", "_shards")
 
-    # Page traffic.
-    page_reads: int = 0          # logical page reads through the buffer pool
-    page_writes: int = 0         # logical page writes (dirty evict or force)
-    disk_io_calls: int = 0       # physical I/O calls (large buffers batch these)
-    disk_pages_read: int = 0
-    disk_pages_written: int = 0
+    def __init__(self, **initial: int) -> None:
+        self._lock = threading.Lock()
+        # Residual totals: explicit attribute assignment folds here.
+        self._base: dict[str, int] = dict.fromkeys(COUNTER_FIELDS, 0)
+        self._local = threading.local()
+        self._shards: list[dict[str, int]] = []
+        for name, value in initial.items():
+            if name not in _FIELD_SET:
+                raise TypeError(f"unknown counter {name!r}")
+            self._base[name] = int(value)
 
-    # Tree traffic.
-    traversals: int = 0
-    retraversals: int = 0
-    level1_visits: int = 0       # visits to level-1 pages (paper §4.3)
-    pages_visited: int = 0
-    key_comparisons: int = 0
-    bytes_copied: int = 0
-
-    # Logging.
-    log_records: int = 0
-    log_bytes: int = 0
-
-    # Rebuild structure.
-    top_actions: int = 0
-    rebuild_transactions: int = 0
-    leaf_pages_rebuilt: int = 0
-    new_pages_allocated: int = 0
-
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    # ------------------------------------------------------------------- hot
 
     def add(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` by ``amount`` (thread-safe)."""
-        with self._lock:
-            setattr(self, name, getattr(self, name) + amount)
+        """Increment counter ``name`` by ``amount`` (lock-free, thread-safe).
+
+        Each thread owns its shard dict, so the read-modify-write below
+        races with nothing; readers merge shards under the registry lock.
+        """
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._register_shard()
+        shard[name] += amount
 
     # Alias used by hot paths for brevity.
     bump = add
 
-    def snapshot(self) -> dict[str, int]:
-        """Return a point-in-time copy of every counter."""
+    def local_shard(self) -> dict[str, int]:
+        """The calling thread's shard, for hot paths that bump several
+        counters at once: one method call, then plain dict increments.
+        Only the owning thread may write to the returned dict."""
+        try:
+            return self._local.shard
+        except AttributeError:
+            return self._register_shard()
+
+    def _register_shard(self) -> dict[str, int]:
+        shard = dict.fromkeys(COUNTER_FIELDS, 0)
+        self._local.shard = shard
         with self._lock:
-            return {
-                f.name: getattr(self, f.name)
-                for f in fields(self)
-                if f.name != "_lock"
-            }
+            self._shards.append(shard)
+        return shard
+
+    # ----------------------------------------------------------------- reads
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a point-in-time copy of every counter (shards merged)."""
+        with self._lock:
+            totals = dict(self._base)
+            for shard in self._shards:
+                for name, value in shard.items():
+                    if value:
+                        totals[name] += value
+        return totals
 
     def diff(self, before: dict[str, int]) -> dict[str, int]:
         """Return counter deltas since a previous :meth:`snapshot`."""
@@ -86,11 +133,39 @@ class Counters:
         return {name: now[name] - before.get(name, 0) for name in now}
 
     def reset(self) -> None:
-        """Zero every counter (between benchmark iterations)."""
+        """Zero every counter (between benchmark iterations; quiescent)."""
         with self._lock:
-            for f in fields(self):
-                if f.name != "_lock":
-                    setattr(self, f.name, 0)
+            self._base = dict.fromkeys(COUNTER_FIELDS, 0)
+            for shard in self._shards:
+                for name in shard:
+                    shard[name] = 0
+
+    # ----------------------------------------------------- attribute protocol
+
+    def __getattr__(self, name: str) -> int:
+        # Only reached for names not in __slots__: counter reads.
+        if name in _FIELD_SET:
+            with self._lock:
+                total = self._base[name]
+                for shard in self._shards:
+                    total += shard[name]
+            return total
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in _FIELD_SET:
+            with self._lock:
+                for shard in self._shards:
+                    shard[name] = 0
+                self._base[name] = int(value)  # type: ignore[call-overload]
+        else:
+            object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        hot = {k: v for k, v in self.snapshot().items() if v}
+        return f"Counters({hot})"
 
 
 class Timer:

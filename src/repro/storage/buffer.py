@@ -24,6 +24,7 @@ tests exercise.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import BufferError_, StorageError
@@ -33,17 +34,22 @@ from repro.storage.page import Page
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count", "tick")
+    __slots__ = ("page", "dirty", "pin_count")
 
     def __init__(self, page: Page) -> None:
         self.page = page
         self.dirty = False
         self.pin_count = 0
-        self.tick = 0
 
 
 class BufferPool:
-    """LRU page cache over a :class:`Disk`."""
+    """LRU page cache over a :class:`Disk`.
+
+    Recency is the order of the ``_frames`` :class:`OrderedDict` — least
+    recent first — so a hit is an O(1) ``move_to_end`` and eviction pops
+    from the front (skipping pinned frames), instead of the tick-counter
+    full scan a naive LRU needs.
+    """
 
     def __init__(
         self,
@@ -56,9 +62,10 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
-        self._frames: dict[int, _Frame] = {}
-        self._tick = 0
-        self._lock = threading.RLock()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        # Plain Lock: no public method re-enters another (flush_all uses
+        # the shared locked helper), and Lock beats RLock on the fast path.
+        self._lock = threading.Lock()
         self._wal_hook: Callable[[int], None] | None = None
 
     def set_wal_hook(self, hook: Callable[[int], None]) -> None:
@@ -76,17 +83,18 @@ class BufferPool:
         """
         with self._lock:
             self.counters.add("page_reads")
-            frame = self._frames.get(page_id)
+            frames = self._frames
+            frame = frames.get(page_id)
             if frame is None:
                 if large_io and self.disk.pages_per_io > 1:
                     self._read_aligned_run(page_id)
-                    frame = self._frames.get(page_id)
+                    frame = frames.get(page_id)
                 if frame is None:
                     frame = self._admit(Page.from_bytes(
                         self.disk.read(page_id), self.disk.page_size
                     ))
             frame.pin_count += 1
-            self._touch(frame)
+            frames.move_to_end(page_id)  # O(1) LRU touch
             return frame.page
 
     def new_page(self, page_id: int) -> Page:
@@ -110,7 +118,6 @@ class BufferPool:
             frame = self._admit(Page(page_id, self.disk.page_size))
             frame.pin_count += 1
             frame.dirty = True
-            self._touch(frame)
             return frame.page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
@@ -156,28 +163,39 @@ class BufferPool:
         through large physical I/Os.
         """
         with self._lock:
-            images: dict[int, bytes] = {}
-            max_lsn = 0
-            dirty_frames = []
-            for pid in page_ids:
-                frame = self._frames.get(pid)
-                if frame is not None and frame.dirty:
-                    images[pid] = frame.page.to_bytes()
-                    max_lsn = max(max_lsn, frame.page.page_lsn)
-                    dirty_frames.append(frame)
-            if not images:
-                return
-            if self._wal_hook is not None:
-                self._wal_hook(max_lsn)
-            self.disk.write_many(images)
-            self.counters.add("page_writes", len(images))
-            for frame in dirty_frames:
-                frame.dirty = False
+            self._flush_pages_locked(page_ids)
+
+    def _flush_pages_locked(self, page_ids: list[int]) -> None:
+        # Pass 1 — bookkeeping only: find the dirty frames.  Clean
+        # frames are never serialized.
+        dirty_frames: dict[int, _Frame] = {}
+        for pid in page_ids:
+            frame = self._frames.get(pid)
+            if frame is not None and frame.dirty:
+                dirty_frames.setdefault(pid, frame)
+        if not dirty_frames:
+            return
+        # Pass 2 — serialize the batch in one go, WAL-first, then
+        # write and mark clean.  Each dirty frame is written exactly
+        # once even if its id repeats in ``page_ids``.
+        images = {
+            pid: frame.page.to_bytes()
+            for pid, frame in dirty_frames.items()
+        }
+        max_lsn = max(
+            frame.page.page_lsn for frame in dirty_frames.values()
+        )
+        if self._wal_hook is not None:
+            self._wal_hook(max_lsn)
+        self.disk.write_many(images)
+        self.counters.add("page_writes", len(images))
+        for frame in dirty_frames.values():
+            frame.dirty = False
 
     def flush_all(self) -> None:
         """Force every dirty resident page (checkpoint / clean shutdown)."""
         with self._lock:
-            self.flush_pages(list(self._frames))
+            self._flush_pages_locked(list(self._frames))
 
     def drop_page(self, page_id: int) -> None:
         """Evict a page without writing (its id was freed and recycled)."""
@@ -194,34 +212,47 @@ class BufferPool:
 
     # --------------------------------------------------------------- internals
 
-    def _touch(self, frame: _Frame) -> None:
-        self._tick += 1
-        frame.tick = self._tick
+    def _touch(self, page_id: int) -> None:
+        """Mark a frame most-recently-used (O(1))."""
+        self._frames.move_to_end(page_id)
 
-    def _admit(self, page: Page) -> _Frame:
-        if len(self._frames) >= self.capacity:
-            self._evict_one()
+    def _admit(self, page: Page, required: bool = True) -> _Frame | None:
+        """Insert a frame at the MRU end, evicting if the pool is full.
+
+        With ``required=False`` (opportunistic prefetch) a pool full of
+        pinned frames returns ``None`` instead of raising.
+        """
+        if len(self._frames) >= self.capacity and not self._evict_one(
+            required=required
+        ):
+            return None
         frame = _Frame(page)
         self._frames[page.page_id] = frame
-        self._touch(frame)
         return frame
 
-    def _evict_one(self) -> None:
+    def _evict_one(self, required: bool = True) -> bool:
+        """Evict the least-recently-used unpinned frame.
+
+        Walks from the LRU end past any pinned frames — O(pinned prefix),
+        O(1) in the common case.  Returns False (or raises, when
+        ``required``) if every frame is pinned.
+        """
         victim_id = None
-        victim_tick = None
         for pid, frame in self._frames.items():
-            if frame.pin_count == 0 and (
-                victim_tick is None or frame.tick < victim_tick
-            ):
-                victim_id, victim_tick = pid, frame.tick
+            if frame.pin_count == 0:
+                victim_id = pid
+                break
         if victim_id is None:
-            raise BufferError_(
-                f"buffer pool exhausted: all {self.capacity} frames pinned"
-            )
+            if required:
+                raise BufferError_(
+                    f"buffer pool exhausted: all {self.capacity} frames pinned"
+                )
+            return False
         frame = self._frames[victim_id]
         if frame.dirty:
             self._write_frame(victim_id, frame)
         del self._frames[victim_id]
+        return True
 
     def _write_frame(self, page_id: int, frame: _Frame) -> None:
         if not frame.dirty:
@@ -233,17 +264,37 @@ class BufferPool:
         frame.dirty = False
 
     def _read_aligned_run(self, page_id: int) -> None:
-        """Miss path for large_io: read the aligned run containing the page."""
+        """Miss path for large_io: read the aligned run containing the page.
+
+        The target page is admitted first and held pinned for the rest of
+        the run admission: when the run fills the pool, later admissions
+        would otherwise evict the not-yet-pinned target, forcing the
+        caller to re-read it (or fail).  The run's other pages are an
+        opportunistic prefetch — skipped, not fatal, when no frame is
+        evictable.
+        """
         ppio = self.disk.pages_per_io
         start = ((page_id - 1) // ppio) * ppio + 1
         images = self.disk.read_run(start, ppio)
-        admitted_target = False
-        for offset, image in enumerate(images):
-            pid = start + offset
-            if image is None or pid in self._frames:
-                continue
-            self._admit(Page.from_bytes(image, self.disk.page_size))
-            if pid == page_id:
-                admitted_target = True
-        if not admitted_target and page_id not in self._frames:
-            raise StorageError(f"page {page_id} was never written")
+        target_image = images[page_id - start]
+        target_frame = self._frames.get(page_id)
+        if target_frame is None:
+            if target_image is None:
+                raise StorageError(f"page {page_id} was never written")
+            target_frame = self._admit(
+                Page.from_bytes(target_image, self.disk.page_size)
+            )
+        target_frame.pin_count += 1
+        try:
+            for offset, image in enumerate(images):
+                pid = start + offset
+                if image is None or pid == page_id or pid in self._frames:
+                    continue
+                admitted = self._admit(
+                    Page.from_bytes(image, self.disk.page_size),
+                    required=False,
+                )
+                if admitted is None:
+                    break
+        finally:
+            target_frame.pin_count -= 1

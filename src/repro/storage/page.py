@@ -25,6 +25,7 @@ Header fields mirror what the paper's protocol needs:
 from __future__ import annotations
 
 import enum
+import os
 import struct
 
 from repro.errors import PageFormatError, PageFullError
@@ -37,6 +38,27 @@ NO_PAGE = 0        # null page id; real ids start at 1
 _HEADER_FMT = "<HIHBBBBHIHIIQHH"
 _HEADER_MAGIC = 0xB7EE
 assert struct.calcsize(_HEADER_FMT) == 40  # == HEADER_SIZE exactly
+
+_debug_accounting = os.environ.get(
+    "REPRO_PAGE_DEBUG_ACCOUNTING", ""
+) not in ("", "0")
+
+
+def set_debug_accounting(enabled: bool) -> None:
+    """Cross-check the incremental ``used_bytes`` cache on every read.
+
+    Every mutator maintains a cached byte count so ``used_bytes`` /
+    ``fits`` are O(1); with the check on, each ``used_bytes`` read also
+    recomputes the sum from scratch and raises if the cache drifted.  The
+    test suite enables it (see ``tests/conftest.py``); it can also be
+    switched on with the ``REPRO_PAGE_DEBUG_ACCOUNTING=1`` env var.
+    """
+    global _debug_accounting
+    _debug_accounting = enabled
+
+
+def debug_accounting_enabled() -> bool:
+    return _debug_accounting
 
 
 class PageType(enum.IntEnum):
@@ -79,16 +101,17 @@ class Page:
         "index_id",
         "page_type",
         "level",
-        "flags",
+        "_flags",
         "prev_page",
         "next_page",
         "page_lsn",
         "side_page",
-        "side_key",
-        "blocked_lo",
-        "blocked_hi",
+        "_side_key",
+        "_blocked_lo",
+        "_blocked_hi",
         "rows",
         "page_size",
+        "_used",
     )
 
     def __init__(self, page_id: int, page_size: int = PAGE_SIZE_DEFAULT) -> None:
@@ -96,25 +119,71 @@ class Page:
         self.index_id = 0
         self.page_type = PageType.RAW
         self.level = 0
-        self.flags = PageFlag.NONE
+        self._flags = 0
         self.prev_page = NO_PAGE
         self.next_page = NO_PAGE
         self.page_lsn = 0
         self.side_page = NO_PAGE
-        self.side_key = b""
-        self.blocked_lo = b""
-        self.blocked_hi = b""
+        self._side_key = b""
+        self._blocked_lo = b""
+        self._blocked_hi = b""
         self.rows: list[bytes] = []
         self.page_size = page_size
+        self._used = HEADER_SIZE
+
+    # Variable-length header fields are managed properties: assigning them
+    # keeps the incremental ``used_bytes`` cache exact.
+
+    @property
+    def side_key(self) -> bytes:
+        return self._side_key
+
+    @side_key.setter
+    def side_key(self, value: bytes) -> None:
+        self._used += len(value) - len(self._side_key)
+        self._side_key = value
+
+    @property
+    def blocked_lo(self) -> bytes:
+        return self._blocked_lo
+
+    @blocked_lo.setter
+    def blocked_lo(self, value: bytes) -> None:
+        self._used += len(value) - len(self._blocked_lo)
+        self._blocked_lo = value
+
+    @property
+    def blocked_hi(self) -> bytes:
+        return self._blocked_hi
+
+    @blocked_hi.setter
+    def blocked_hi(self, value: bytes) -> None:
+        self._used += len(value) - len(self._blocked_hi)
+        self._blocked_hi = value
 
     # ------------------------------------------------------------------ size
 
-    @property
-    def used_bytes(self) -> int:
-        """Exact bytes this page would occupy on disk, excluding padding."""
+    def _recompute_used(self) -> int:
+        """Full O(n) recount; ground truth for the incremental cache."""
         rows = sum(SLOT_OVERHEAD + len(r) for r in self.rows)
         side = len(self.side_key) + len(self.blocked_lo) + len(self.blocked_hi)
         return HEADER_SIZE + side + rows
+
+    @property
+    def used_bytes(self) -> int:
+        """Exact bytes this page would occupy on disk, excluding padding.
+
+        O(1): mutators maintain the cached count.  ``rows`` must only be
+        mutated through the mutator methods, never in place.
+        """
+        if _debug_accounting:
+            actual = self._recompute_used()
+            if self._used != actual:
+                raise AssertionError(
+                    f"page {self.page_id} byte-accounting drift: cached "
+                    f"{self._used} != recomputed {actual}"
+                )
+        return self._used
 
     @property
     def free_bytes(self) -> int:
@@ -126,8 +195,11 @@ class Page:
         return self.page_size - HEADER_SIZE
 
     def fits(self, row: bytes, extra_rows: int = 1) -> bool:
-        """Would ``extra_rows`` copies of ``row`` fit right now?"""
-        return self.free_bytes >= extra_rows * (SLOT_OVERHEAD + len(row))
+        """Would ``extra_rows`` copies of ``row`` fit right now?  O(1)."""
+        return (
+            self.page_size - self._used
+            >= extra_rows * (SLOT_OVERHEAD + len(row))
+        )
 
     @property
     def nrows(self) -> int:
@@ -138,29 +210,48 @@ class Page:
         return not self.rows
 
     def fill_fraction(self) -> float:
-        """Fraction of row space in use (0.0 on an empty page)."""
+        """Fraction of row space in use (0.0 on an empty page).  O(1)."""
         used = self.used_bytes - HEADER_SIZE
         return used / (self.page_size - HEADER_SIZE)
 
     # ------------------------------------------------------------------ flags
 
+    # Flag state is a plain int internally: ``has_flag`` sits on the
+    # traversal hot path, and going through IntFlag.__and__ re-enters the
+    # enum machinery on every check.  ``flag._value_`` reads the member's
+    # raw int without the DynamicClassAttribute indirection of ``.value``.
+
+    @property
+    def flags(self) -> PageFlag:
+        return PageFlag(self._flags)
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        self._flags = int(value)
+
     def has_flag(self, flag: PageFlag) -> bool:
-        return bool(self.flags & flag)
+        return bool(self._flags & flag._value_)
 
     def set_flag(self, flag: PageFlag) -> None:
-        self.flags |= flag
+        self._flags |= flag._value_
 
     def clear_flag(self, flag: PageFlag) -> None:
-        self.flags &= ~flag
+        self._flags &= ~flag._value_
 
     def set_side_entry(self, key: bytes, page_id: int) -> None:
         """Publish the split side entry ``[key, page_id]`` (§2.3).
 
         Valid only while OLDPGOFSPLIT is set; the caller sets the flag.
         """
-        if HEADER_SIZE + len(key) + sum(
-            SLOT_OVERHEAD + len(r) for r in self.rows
-        ) > self.page_size:
+        # Blocked-range bytes are excluded here on purpose: a side entry
+        # and a blocked range are never live at once (SPLIT vs SHRINK).
+        rows_used = (
+            self._used
+            - len(self.side_key)
+            - len(self.blocked_lo)
+            - len(self.blocked_hi)
+        )
+        if rows_used + len(key) > self.page_size:
             raise PageFullError(
                 f"side entry of {len(key)} bytes does not fit on page "
                 f"{self.page_id}"
@@ -227,6 +318,7 @@ class Page:
                 f"insert position {pos} out of range on page {self.page_id}"
             )
         self.rows.insert(pos, data)
+        self._used += SLOT_OVERHEAD + len(data)
 
     def append_row(self, data: bytes) -> None:
         self.insert_row(len(self.rows), data)
@@ -236,7 +328,9 @@ class Page:
             raise PageFormatError(
                 f"delete position {pos} out of range on page {self.page_id}"
             )
-        return self.rows.pop(pos)
+        row = self.rows.pop(pos)
+        self._used -= SLOT_OVERHEAD + len(row)
+        return row
 
     def delete_rows(self, lo: int, hi: int) -> list[bytes]:
         """Delete slots ``lo:hi`` and return them (rebuild's delete phase)."""
@@ -246,6 +340,7 @@ class Page:
             )
         removed = self.rows[lo:hi]
         del self.rows[lo:hi]
+        self._used -= sum(SLOT_OVERHEAD + len(r) for r in removed)
         return removed
 
     def replace_row(self, pos: int, data: bytes) -> bytes:
@@ -257,6 +352,7 @@ class Page:
                 f"replacing row {pos} grows page {self.page_id} past capacity"
             )
         self.rows[pos] = data
+        self._used += grow
         return old
 
     # ------------------------------------------------------------ persistence
@@ -274,7 +370,7 @@ class Page:
             self.index_id,
             int(self.page_type),
             self.level,
-            int(self.flags),
+            self._flags,
             0,  # pad
             len(self.rows),
             self.side_page,
@@ -348,6 +444,7 @@ class Page:
             raise PageFormatError(
                 f"page {page_id} rows overflow the {page_size}-byte image"
             )
+        page._used = page._recompute_used()
         return page
 
     def copy(self) -> "Page":

@@ -38,17 +38,21 @@ class LogManager:
 
     def append(self, record: LogRecord) -> int:
         """Assign an LSN, encode, and buffer the record; returns the LSN."""
+        payload = record._encode_payload()  # LSN-independent: keep off the lock
+        rtype = record.type
         with self._lock:
-            record.lsn = self._next_lsn
-            data = record.encode()
+            lsn = record.lsn = self._next_lsn
+            data = record.encode_given_payload(payload)
+            size = len(data)
             self._records.append(data)
-            self._offsets.append(record.lsn)
-            self._next_lsn += len(data)
-            self.bytes_by_type[record.type] += len(data)
-            self.count_by_type[record.type] += 1
-            self.counters.add("log_records")
-            self.counters.add("log_bytes", len(data))
-            return record.lsn
+            self._offsets.append(lsn)
+            self._next_lsn = lsn + size
+            self.bytes_by_type[rtype] += size
+            self.count_by_type[rtype] += 1
+        shard = self.counters.local_shard()  # shards are lock-free
+        shard["log_records"] += 1
+        shard["log_bytes"] += size
+        return lsn
 
     @property
     def next_lsn(self) -> int:

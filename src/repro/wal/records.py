@@ -55,7 +55,9 @@ top action still freezes the affected pages.
 
 _HEADER_FMT = "<HBBIQQQQHIQ"
 _HEADER_MAGIC = 0x10C5
-assert struct.calcsize(_HEADER_FMT) == 54  # padded to RECORD_OVERHEAD
+_HEADER_STRUCT = struct.Struct(_HEADER_FMT)
+_HEADER_PAD = b"\x00" * (RECORD_OVERHEAD - _HEADER_STRUCT.size)
+assert _HEADER_STRUCT.size == 54  # padded to RECORD_OVERHEAD
 
 
 class RecordType(enum.IntEnum):
@@ -79,7 +81,7 @@ class RecordType(enum.IntEnum):
     ALLOCRUN = 18
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyCopyEntry:
     """One (source, target) extent of a keycopy record (§4.1.2).
 
@@ -99,7 +101,7 @@ class KeyCopyEntry:
         return self.last_pos - self.first_pos + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainLink:
     """New leaf-chain link values installed by a rebuild top action."""
 
@@ -108,7 +110,7 @@ class ChainLink:
     next_page: int
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """A decoded log record.
 
@@ -153,27 +155,77 @@ class LogRecord:
     """Transient (never serialized): during recovery, the decoded record a
     CLR compensates, resolved from ``undone_lsn`` by the recovery driver."""
 
+    @classmethod
+    def header_record(
+        cls, type: RecordType, undo_next_lsn: int = 0
+    ) -> "LogRecord":
+        """Fast constructor for header-only records (TXN_* / NTA_*).
+
+        Skips the 30-field dataclass ``__init__`` on the hottest logging
+        path; payload collections are left as ``None`` — header-only
+        record types never read them.
+        """
+        rec = cls.__new__(cls)
+        rec.type = type
+        rec.txn_id = 0
+        rec.page_id = 0
+        rec.index_id = 0
+        rec.old_ts = 0
+        rec.lsn = 0
+        rec.prev_lsn = 0
+        rec.undo_next_lsn = undo_next_lsn
+        rec.flags = 0
+        rec.pos = 0
+        rec.rows = None  # type: ignore[assignment]
+        rec.entries = None  # type: ignore[assignment]
+        rec.target_ts = None  # type: ignore[assignment]
+        rec.links = None  # type: ignore[assignment]
+        rec.old_prev = 0
+        rec.new_prev = 0
+        rec.old_next = 0
+        rec.new_next = 0
+        rec.pp_page = 0
+        rec.pp_old_next = 0
+        rec.pp_new_next = 0
+        rec.page_type = 0
+        rec.level = 0
+        rec.prev_page = 0
+        rec.next_page = 0
+        rec.page_ids = None  # type: ignore[assignment]
+        rec.old_format = None
+        rec.payload_json = None
+        rec.undone_lsn = 0
+        rec.resolved_undone = None
+        return rec
+
     # ----------------------------------------------------------------- encode
 
     def encode(self) -> bytes:
-        payload = self._encode_payload()
-        length = RECORD_OVERHEAD + len(payload)
-        header = struct.pack(
-            _HEADER_FMT,
-            _HEADER_MAGIC,
-            int(self.type),
-            self.flags,
-            length,
-            self.lsn,
-            self.prev_lsn,
-            self.txn_id,
-            self.undo_next_lsn,
-            self.index_id,
-            self.page_id,
-            self.old_ts,
+        return self.encode_given_payload(self._encode_payload())
+
+    def encode_given_payload(self, payload: bytes) -> bytes:
+        """Frame an already-encoded payload (it never depends on the LSN).
+
+        The log manager encodes the payload *outside* its lock and calls
+        this under the lock once the LSN is assigned.
+        """
+        return (
+            _HEADER_STRUCT.pack(
+                _HEADER_MAGIC,
+                int(self.type),
+                self.flags,
+                RECORD_OVERHEAD + len(payload),
+                self.lsn,
+                self.prev_lsn,
+                self.txn_id,
+                self.undo_next_lsn,
+                self.index_id,
+                self.page_id,
+                self.old_ts,
+            )
+            + _HEADER_PAD
+            + payload
         )
-        header += b"\x00" * (RECORD_OVERHEAD - len(header))
-        return header + payload
 
     @property
     def size(self) -> int:
@@ -181,6 +233,8 @@ class LogRecord:
 
     def _encode_payload(self) -> bytes:
         t = self.type
+        if t <= RecordType.NTA_END:  # TXN_* and NTA_*: header only
+            return b""
         if t in (RecordType.INSERT, RecordType.DELETE):
             (row,) = self.rows
             return struct.pack("<HH", self.pos, len(row)) + row
@@ -283,7 +337,7 @@ class LogRecord:
             index_id,
             page_id,
             old_ts,
-        ) = struct.unpack_from(_HEADER_FMT, data)
+        ) = _HEADER_STRUCT.unpack_from(data)
         if magic != _HEADER_MAGIC:
             raise LogFormatError(f"bad record magic 0x{magic:04x}")
         if length != len(data):

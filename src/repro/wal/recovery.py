@@ -84,13 +84,12 @@ class RecoveryManager:
         for rec in records:
             if rec.type is RecordType.CHECKPOINT:
                 checkpoint = rec
-            elif rec.type is RecordType.TXN_BEGIN:
-                active[rec.txn_id] = rec.lsn
             elif rec.type in (RecordType.TXN_COMMIT, RecordType.TXN_ABORT):
                 active.pop(rec.txn_id, None)
             elif rec.txn_id:
-                if rec.txn_id in active:
-                    active[rec.txn_id] = rec.lsn
+                # ARIES-style implicit BEGIN: the first record carrying a
+                # txn id starts that transaction.
+                active[rec.txn_id] = rec.lsn
         report.loser_txns = sorted(active)
         self._loser_last_lsn = dict(active)
         if checkpoint is not None:

@@ -21,13 +21,17 @@ def txns(log) -> TransactionManager:
     return mgr
 
 
-def test_begin_logs_and_registers(txns, log):
+def test_begin_registers_without_logging(txns, log):
+    """BEGIN is implicit (ARIES): the first logged record starts the txn."""
     txn = txns.begin()
     assert txn.state is TxnState.ACTIVE
     assert txn.txn_id in txns.active
+    assert list(log.scan()) == []  # nothing logged until the first change
+    lsn = txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
+    assert txn.begin_lsn == lsn
     records = list(log.scan())
-    assert records[0].type is RecordType.TXN_BEGIN
     assert records[0].txn_id == txn.txn_id
+    assert records[0].prev_lsn == 0  # chain ends at the implicit begin
 
 
 def test_records_chain_backwards(txns, log):
@@ -41,11 +45,20 @@ def test_records_chain_backwards(txns, log):
 
 def test_commit_flushes_and_finalizes(txns, log):
     txn = txns.begin()
+    txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
     txns.commit(txn)
     assert txn.state is TxnState.COMMITTED
     assert txn.txn_id not in txns.active
     durable = [r.type for r in log.scan(durable_only=True)]
     assert RecordType.TXN_COMMIT in durable
+
+
+def test_readonly_commit_logs_nothing(txns, log):
+    """A txn that logged no change leaves no trace in the log at all."""
+    txn = txns.begin()
+    txns.commit(txn)
+    assert txn.state is TxnState.COMMITTED
+    assert list(log.scan()) == []
 
 
 def test_commit_twice_raises(txns):
@@ -120,8 +133,8 @@ def test_clr_not_reundone_on_crash_resume(txns, log):
     txns.set_undo_applier(lambda rec, clr_lsn: undone.append(rec.page_id))
     txn = txns.begin()
     txns.append(txn, LogRecord(type=RecordType.DEALLOC, page_id=1))
-    txns.rollback_to(txn, txn.begin_lsn)
-    txns.rollback_to(txn, txn.begin_lsn)
+    txns.rollback_to(txn, 0)
+    txns.rollback_to(txn, 0)
     assert undone == [1]  # second rollback found only the CLR and skipped it
 
 

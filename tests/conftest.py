@@ -8,6 +8,11 @@ import pytest
 
 from repro import Engine
 from repro.btree.tree import BTree
+from repro.storage import page as page_module
+
+# Cross-check the incremental page byte-accounting cache against a full
+# recompute on every used_bytes read, for the whole suite.
+page_module.set_debug_accounting(True)
 
 
 def intkey(i: int) -> bytes:

@@ -141,3 +141,61 @@ def test_log_record_roundtrip(rec, lsn, txn):
     assert back.links == rec.links
     if rec.type in (RecordType.DEALLOC, RecordType.ALLOCRUN):
         assert back.page_ids == (rec.page_ids or [rec.page_id])
+
+
+# Arbitrary mutation sequences: the incremental ``_used`` cache must track
+# the O(n) recount exactly through every mutator, and the page must still
+# serialize/round-trip afterwards.
+
+mutation_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "append", "delete", "delete_range", "replace",
+             "side", "clear_side", "blocked", "clear_blocked"]
+        ),
+        st.integers(min_value=0, max_value=2**31),
+        st.binary(max_size=40),
+        st.binary(max_size=40),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=mutation_strategy)
+@settings(max_examples=200)
+def test_used_cache_tracks_recount_under_mutations(ops):
+    from repro.errors import PageFullError
+
+    page = Page(3)
+    for op, n, data, data2 in ops:
+        try:
+            if op == "insert":
+                page.insert_row(n % (page.nrows + 1), data)
+            elif op == "append":
+                page.append_row(data)
+            elif op == "delete" and page.nrows:
+                page.delete_row(n % page.nrows)
+            elif op == "delete_range" and page.nrows:
+                lo = n % page.nrows
+                page.delete_rows(lo, min(page.nrows, lo + 3))
+            elif op == "replace" and page.nrows:
+                page.replace_row(n % page.nrows, data)
+            elif op == "side":
+                page.set_flag(PageFlag.OLDPGOFSPLIT)
+                page.set_side_entry(data, n)
+            elif op == "clear_side":
+                page.clear_side_entry()
+            elif op == "blocked":
+                page.clear_side_entry()
+                page.set_flag(PageFlag.SHRINK | PageFlag.SHRINKRANGE)
+                page.set_blocked_range(data, data2)
+            elif op == "clear_blocked":
+                page.clear_blocked_range()
+        except PageFullError:
+            pass
+        assert page._used == page._recompute_used()
+    assert len(page.to_bytes()) == page.page_size
+    back = Page.from_bytes(page.to_bytes())
+    assert back.rows == page.rows
+    assert back.used_bytes == page.used_bytes
+    assert back._used == back._recompute_used()

@@ -198,3 +198,57 @@ def test_large_io_fetch_populates_neighbors(counters):
 def test_minimum_capacity_enforced(disk):
     with pytest.raises(BufferError_):
         BufferPool(disk, capacity=2)
+
+
+def test_flush_pages_skips_clean_frames_entirely(pool, disk, monkeypatch):
+    """Clean frames must not be serialized, let alone written."""
+    put_page(disk, 1, b"clean")
+    pool.fetch(1)
+    pool.unpin(1)  # resident and clean
+    page = pool.new_page(2)
+    page.append_row(b"dirty")
+    pool.unpin(2, dirty=True)
+
+    serialized = []
+    orig = Page.to_bytes
+
+    def counting_to_bytes(self):
+        serialized.append(self.page_id)
+        return orig(self)
+
+    monkeypatch.setattr(Page, "to_bytes", counting_to_bytes)
+    before = pool.counters.page_writes
+    pool.flush_pages([1, 2])
+    assert serialized == [2]  # the clean frame was never touched
+    assert pool.counters.page_writes - before == 1
+
+
+def test_flush_pages_writes_duplicates_once(pool, counters):
+    page = pool.new_page(5)
+    page.append_row(b"x")
+    pool.unpin(5, dirty=True)
+    before = counters.page_writes
+    pool.flush_pages([5, 5, 5])
+    assert counters.page_writes - before == 1
+
+
+def test_read_aligned_run_survives_prefetch_eviction(counters):
+    """Regression: when the run's prefetch fills the pool, the admissions
+    must not evict the not-yet-pinned target page itself (which used to
+    force a second, redundant physical read of the target)."""
+    disk = Disk(io_size=2048 * 8, counters=counters)  # 8 pages per IO
+    pool = BufferPool(disk, capacity=8, counters=counters)
+    for pid in range(1, 17):
+        put_page(disk, pid, b"p%d" % pid)
+    # Pin 7 frames from the second run: one evictable slot remains.
+    for pid in range(9, 16):
+        pool.fetch(pid)
+    before = counters.disk_io_calls
+    page = pool.fetch(1, large_io=True)  # run 1-8 wants 8 frames
+    assert counters.disk_io_calls - before == 1  # the run read, nothing more
+    assert page.rows == [b"p1"]
+    assert pool.is_resident(1)
+    assert pool.pin_count(1) == 1
+    pool.unpin(1)  # must not raise: the frame returned is the resident one
+    for pid in range(9, 16):
+        pool.unpin(pid)

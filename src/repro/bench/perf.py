@@ -50,6 +50,15 @@ DEFAULT_KEYS = 50_000
 QUICK_KEYS = 8_000
 NTASIZE = 32
 
+# The pipeline A/B scenario (issue 3): the pool is far smaller than the
+# index's working set and the rebuild starts cold, so the rebuild phase
+# measures real I/O under eviction pressure — the regime where write-behind
+# forcing (clean pages evict for free; dirty ones cost one call each)
+# and read-ahead show up in ``disk_io_calls`` rather than only in overlap.
+AB_CAPACITY = 192
+AB_PIPELINE_DEPTH = 4
+AB_GROUP_COMMIT_WINDOW = 0.002
+
 
 @dataclass
 class PerfResult:
@@ -95,11 +104,18 @@ def run_scenario(
     traffic_threads: int = 4,
     buffer_capacity: int = 16384,
     io_size: int = 16384,
+    pipeline_depth: int = 0,
+    group_commit_window: float = 0.0,
+    cold_rebuild: bool = False,
 ) -> PerfResult:
     """Build, fragment, and online-rebuild an index; return all timings.
 
     ``traffic_threads=0`` disables the concurrent OLTP workload during the
     rebuild (useful when profiling the rebuild path alone).
+    ``pipeline_depth`` / ``group_commit_window`` are passed through to the
+    rebuild's :class:`RebuildConfig` (0 / 0.0 = the serial defaults).
+    ``cold_rebuild`` empties the buffer pool before the rebuild phase so
+    the phase measures real I/O, not residual build-phase cache.
     """
     result = PerfResult(
         config={
@@ -109,6 +125,9 @@ def run_scenario(
             "buffer_capacity": buffer_capacity,
             "io_size": io_size,
             "ntasize": NTASIZE,
+            "pipeline_depth": pipeline_depth,
+            "group_commit_window": group_commit_window,
+            "cold_rebuild": cold_rebuild,
         }
     )
     engine = Engine(
@@ -139,6 +158,8 @@ def run_scenario(
     _phase(result, "fragment", engine, fragment)
 
     # Phase 3: online rebuild (ntasize 32) under concurrent OLTP traffic.
+    if cold_rebuild:
+        engine.ctx.buffer.evict_all()
     workload = None
     if traffic_threads > 0:
         workload = MixedWorkload(
@@ -154,7 +175,11 @@ def run_scenario(
         if workload is not None:
             workload.start()
         try:
-            rebuild_cfg = RebuildConfig(ntasize=NTASIZE)
+            rebuild_cfg = RebuildConfig(
+                ntasize=NTASIZE,
+                pipeline_depth=pipeline_depth,
+                group_commit_window=group_commit_window,
+            )
             return OnlineRebuild(tree, rebuild_cfg).run()
         finally:
             if workload is not None:
@@ -178,6 +203,114 @@ def run_scenario(
     return result
 
 
+def _rebuild_metrics(result: PerfResult) -> dict:
+    """The rebuild-phase numbers the pipeline A/B compares."""
+    phase = result.phases["rebuild"]
+    counters = phase["counters"]
+    out = {
+        "wall_seconds": phase["wall_seconds"],
+        "disk_io_calls": counters.get("disk_io_calls", 0),
+        "page_writes": counters.get("page_writes", 0),
+        "log_flushes": counters.get("log_flushes", 0),
+        "log_flushes_coalesced": counters.get("log_flushes_coalesced", 0),
+        "prefetch_hits": counters.get("prefetch_hits", 0),
+        "writebehind_pages": counters.get("writebehind_pages", 0),
+    }
+    if "oltp" in phase:
+        out["oltp_operations"] = phase["oltp"]["operations"]
+    return out
+
+
+def run_pipeline_ab(
+    rounds: int = 3,
+    key_count: int = DEFAULT_KEYS,
+    seed: int = 42,
+    traffic_threads: int = 4,
+    buffer_capacity: int = AB_CAPACITY,
+) -> dict:
+    """Interleaved serial-vs-pipelined A/B; returns the ``BENCH_PR3.json``
+    payload.
+
+    Two parts per round, because the two effects need opposite conditions
+    to be measured honestly:
+
+    * **rebuild_io** — no OLTP traffic, pressured pool, cold rebuild.
+      Deterministic: the ``disk_io_calls`` delta is exactly the write-behind
+      effect (evictions of eagerly-cleaned pages are free; serially they
+      are one physical call each).  Traffic would add its own I/O to the
+      phase counters and drown the signal.
+    * **group_commit** — 4 OLTP threads on a comfortable pool, so physical
+      log flushes come from *commits* (not from WAL-hook flushes ahead of
+      pressure evictions).  Reported raw and per operation, since thread
+      scheduling makes the op count itself noisy.
+    """
+    pairs = []
+    for n in range(1, rounds + 1):
+        entry: dict = {"pair": n}
+        # Part 1: deterministic rebuild I/O (write-behind + read-ahead).
+        for label, depth in (("serial", 0), ("pipelined", AB_PIPELINE_DEPTH)):
+            r = run_scenario(
+                key_count=key_count, seed=seed, traffic_threads=0,
+                buffer_capacity=buffer_capacity, cold_rebuild=True,
+                pipeline_depth=depth,
+            )
+            entry.setdefault("rebuild_io", {})[label] = _rebuild_metrics(r)
+        # Part 2: group commit under the mixed workload.
+        for label, window in (("serial", 0.0), ("grouped", AB_GROUP_COMMIT_WINDOW)):
+            r = run_scenario(
+                key_count=key_count, seed=seed,
+                traffic_threads=traffic_threads, buffer_capacity=16384,
+                pipeline_depth=AB_PIPELINE_DEPTH if window else 0,
+                group_commit_window=window,
+            )
+            m = _rebuild_metrics(r)
+            ops = m.get("oltp_operations", 0)
+            m["log_flushes_per_op"] = round(m["log_flushes"] / max(ops, 1), 4)
+            entry.setdefault("group_commit", {})[label] = m
+        pairs.append(entry)
+
+    def best(part: str, side: str, metric: str) -> float:
+        return min(p[part][side][metric] for p in pairs)
+
+    summary = {
+        "rebuild_disk_io_calls": {
+            "serial_min": best("rebuild_io", "serial", "disk_io_calls"),
+            "pipelined_min": best("rebuild_io", "pipelined", "disk_io_calls"),
+        },
+        "rebuild_wall_seconds": {
+            "serial_min": best("rebuild_io", "serial", "wall_seconds"),
+            "pipelined_min": best("rebuild_io", "pipelined", "wall_seconds"),
+        },
+        "workload_log_flushes": {
+            "serial_min": best("group_commit", "serial", "log_flushes"),
+            "grouped_min": best("group_commit", "grouped", "log_flushes"),
+        },
+        "workload_log_flushes_per_op": {
+            "serial_min": best("group_commit", "serial", "log_flushes_per_op"),
+            "grouped_min": best("group_commit", "grouped", "log_flushes_per_op"),
+        },
+    }
+    return {
+        "benchmark": (
+            "benchmarks/run_perf.py --ab: (1) cold pressured rebuild "
+            f"({key_count} keys, {buffer_capacity}-frame pool, no traffic) "
+            f"serial vs pipeline_depth={AB_PIPELINE_DEPTH}; (2) rebuild "
+            f"under {traffic_threads}-thread mixed workload (16384-frame "
+            f"pool) with group_commit_window 0 vs {AB_GROUP_COMMIT_WINDOW}"
+        ),
+        "methodology": (
+            "Interleaved A/B: alternating serial-default and pipelined runs "
+            "of the same seeded scenario on the same host. Part 1 is "
+            "single-threaded and deterministic in its I/O-call counts; "
+            "part 2 reports log flushes raw and per OLTP operation because "
+            "thread interleaving makes the op count itself vary. Minima "
+            "across rounds are compared (noise is additive)."
+        ),
+        "pairs": pairs,
+        "summary": summary,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the repo's perf-trajectory scenario and emit JSON."
@@ -199,6 +332,28 @@ def main(argv: list[str] | None = None) -> int:
         "--json", default="-",
         help="output path for the JSON report ('-' for stdout)",
     )
+    parser.add_argument(
+        "--pipeline", action="store_true",
+        help=(
+            "run the pressured cold-rebuild scenario with the I/O pipeline "
+            f"on (pipeline_depth={AB_PIPELINE_DEPTH}, group_commit_window="
+            f"{AB_GROUP_COMMIT_WINDOW})"
+        ),
+    )
+    parser.add_argument(
+        "--no-pipeline", action="store_true",
+        help="run the pressured cold-rebuild scenario with serial defaults",
+    )
+    parser.add_argument(
+        "--ab", type=int, metavar="N", default=0,
+        help="interleaved A/B: N rounds of --no-pipeline then --pipeline, "
+             "emitting the BENCH_PR3.json payload",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="buffer pool frames (default 16384; pipeline modes default "
+             f"to the pressured {AB_CAPACITY})",
+    )
     args = parser.parse_args(argv)
 
     key_count = args.keys
@@ -208,20 +363,38 @@ def main(argv: list[str] | None = None) -> int:
         threads = 0
     key_count = key_count or DEFAULT_KEYS
 
-    result = run_scenario(
-        key_count=key_count, seed=args.seed, traffic_threads=threads
-    )
-    payload = result.to_json()
+    if args.ab:
+        payload = json.dumps(
+            run_pipeline_ab(
+                rounds=args.ab, key_count=key_count, seed=args.seed,
+                traffic_threads=threads,
+                buffer_capacity=args.capacity or AB_CAPACITY,
+            ),
+            indent=1,
+        )
+    elif args.pipeline or args.no_pipeline:
+        result = run_scenario(
+            key_count=key_count, seed=args.seed, traffic_threads=threads,
+            buffer_capacity=args.capacity or AB_CAPACITY,
+            cold_rebuild=True,
+            pipeline_depth=AB_PIPELINE_DEPTH if args.pipeline else 0,
+            group_commit_window=(
+                AB_GROUP_COMMIT_WINDOW if args.pipeline else 0.0
+            ),
+        )
+        payload = result.to_json()
+    else:
+        result = run_scenario(
+            key_count=key_count, seed=args.seed, traffic_threads=threads,
+            buffer_capacity=args.capacity or 16384,
+        )
+        payload = result.to_json()
     if args.json == "-":
         print(payload)
     else:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(payload + "\n")
-        print(
-            f"wall={result.total_wall_seconds}s cpu={result.total_cpu_seconds}s "
-            f"-> {args.json}",
-            file=sys.stderr,
-        )
+        print(f"-> {args.json}", file=sys.stderr)
     return 0
 
 

@@ -125,7 +125,7 @@ class TransactionManager:
             lsn = self.append(
                 txn, LogRecord.header_record(RecordType.TXN_COMMIT)
             )
-            self.log.flush_to(lsn)
+            self.log.flush_commit(lsn)
         elif txn.state is not TxnState.ACTIVE:
             self._check_active(txn)
         txn.state = TxnState.COMMITTED
@@ -143,7 +143,7 @@ class TransactionManager:
             lsn = self.append(
                 txn, LogRecord.header_record(RecordType.TXN_ABORT)
             )
-            self.log.flush_to(lsn)
+            self.log.flush_commit(lsn)
         txn.state = TxnState.ABORTED
         with self._lock:
             self.active.pop(txn.txn_id, None)

@@ -58,6 +58,7 @@ class EngineContext:
         counters: Counters | None = None,
         lock_timeout: float = 30.0,
         storage_dir: str | None = None,
+        group_commit_window: float = 0.0,
     ) -> "EngineContext":
         """Wire up a fresh engine: disk, pool, log, locks, transactions.
 
@@ -88,6 +89,7 @@ class EngineContext:
                 page_size=page_size, io_size=io_size, counters=counters
             )
             log = LogManager(counters=counters)
+        log.group_commit_window = group_commit_window
         buffer = BufferPool(disk, capacity=buffer_capacity, counters=counters)
         page_manager = PageManager(disk, counters=counters)
         buffer.set_wal_hook(log.flush_to)

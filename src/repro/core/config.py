@@ -43,6 +43,15 @@ class RebuildConfig:
     keys outside it pass through (helps when propagation continues above
     level 1)."""
     use_large_io: bool = True
+    pipeline_depth: int = 0
+    """Asynchronous I/O pipelining (:mod:`repro.storage.io_scheduler`).
+    0 keeps the serial behavior: forces at transaction boundaries are
+    synchronous and no read-ahead runs.  > 0 enables the write-behind
+    forcer and bounds the read-ahead queue to this many run hints."""
+    group_commit_window: float = 0.0
+    """Seconds the rebuild sets as the log's group-commit window for its
+    duration (0.0 leaves the log untouched: one physical flush per
+    commit)."""
 
     def __post_init__(self) -> None:
         if self.ntasize < 1:
@@ -58,3 +67,12 @@ class RebuildConfig:
             )
         if self.chunk_size < 1:
             raise RebuildError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.pipeline_depth < 0:
+            raise RebuildError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
+            )
+        if self.group_commit_window < 0.0:
+            raise RebuildError(
+                "group_commit_window must be >= 0, "
+                f"got {self.group_commit_window}"
+            )

@@ -36,6 +36,7 @@ DELETE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.btree import keys as K
 from repro.btree.split import _update_prev_link
@@ -70,6 +71,7 @@ class CopyResult:
     last_target: int             # rightmost page holding copied keys
     resume_unit: bytes           # highest unit copied so far
     reached_end: bool            # Pn was the last leaf of the index
+    next_leaf: int = NO_PAGE     # first source leaf of the next top action
 
 
 class PositionLost(RebuildError):
@@ -157,6 +159,7 @@ def copy_multipage(
     cleanup: list[int],
     deallocated: list[int],
     stop_unit: bytes | None = None,
+    prefetch_hint: "Callable[[int, int], None] | None" = None,
 ) -> CopyResult:
     """Run the copy phase for the run of leaves starting at ``p1_id``.
 
@@ -164,6 +167,12 @@ def copy_multipage(
     extend past the leaf containing it.  Raises :class:`PositionLost` if
     ``p1_id`` stopped being a usable leaf before it could be locked (the
     driver re-discovers and retries).
+
+    ``prefetch_hint(next_leaf, npages)`` is called, when given, as soon as
+    the next top action's first source leaf is known — i.e. right after the
+    current run's source pages have been read, *before* the CPU-heavy
+    planning and apply work.  The I/O scheduler's reader uses the hint to
+    pull the next run into the buffer pool while this one is being copied.
     """
     source_bit = (
         PageFlag.SPLIT if config.split_then_shrink else PageFlag.SHRINK
@@ -189,6 +198,8 @@ def copy_multipage(
         sources.append((pid, list(page.rows)))
         next_after_run = page.next_page
         ctx.release_page(pid)
+    if prefetch_hint is not None and next_after_run != NO_PAGE:
+        prefetch_hint(next_after_run, config.ntasize)
 
     pp_low_unit: bytes | None = None
     pp_last_unit: bytes | None = None
@@ -260,6 +271,7 @@ def copy_multipage(
         last_target=last_target,
         resume_unit=resume_unit,
         reached_end=next_after_run == NO_PAGE,
+        next_leaf=next_after_run,
     )
 
 

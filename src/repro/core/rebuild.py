@@ -44,6 +44,7 @@ from repro.core.copy_phase import PositionLost, copy_multipage
 from repro.core.propagation import PropagationState, run_propagation
 from repro.errors import RebuildAbortedError, RebuildError
 from repro.stats.counters import Timer
+from repro.storage.io_scheduler import IOScheduler
 from repro.storage.page import NO_PAGE, PageFlag
 from repro.storage.page_manager import ChunkAllocator, PageState
 from repro.wal.records import RecordType
@@ -80,6 +81,7 @@ class OnlineRebuild:
         self.tree = tree
         self.ctx: EngineContext = tree.ctx
         self.config = config if config is not None else RebuildConfig()
+        self._scheduler: IOScheduler | None = None
 
     def run(
         self,
@@ -131,10 +133,26 @@ class OnlineRebuild:
         counters_before = ctx.counters.snapshot()
         log_before = ctx.log.usage_snapshot()
         timer = Timer()
+        # Pipelining (issue 3): a nonzero pipeline_depth runs the §3 forces
+        # through a background writer and read-ahead through a background
+        # reader; a nonzero group_commit_window lets the rebuild's commits
+        # (and any concurrent user commits) share physical log flushes.
+        if config.pipeline_depth > 0:
+            self._scheduler = IOScheduler(
+                ctx.buffer, counters=ctx.counters,
+                depth=config.pipeline_depth,
+            ).start()
+        saved_window = ctx.log.group_commit_window
+        if config.group_commit_window > 0.0:
+            ctx.log.group_commit_window = config.group_commit_window
         try:
             with timer:
                 self._drive(chunk_alloc, traversal, report)
         finally:
+            if self._scheduler is not None:
+                self._scheduler.close()
+                self._scheduler = None
+            ctx.log.group_commit_window = saved_window
             chunk_alloc.close()
             tree._rebuild_active = False  # type: ignore[attr-defined]
         report.wall_seconds = timer.wall_seconds
@@ -198,7 +216,22 @@ class OnlineRebuild:
                     f"online rebuild aborted: {exc}"
                 ) from exc
             # §3 transaction boundary: force new pages, commit, free old.
-            ctx.buffer.flush_pages(txn_new_pages)
+            # Pipelined, the force is a barrier on the write-behind queue —
+            # the wait below IS the durability point; a writer failure must
+            # take the abort path (synchronous flush) before anything is
+            # freed, so the invariant is enforced, never assumed.
+            try:
+                if self._scheduler is not None:
+                    self._scheduler.force(txn_new_pages).wait()
+                else:
+                    ctx.buffer.flush_pages(txn_new_pages)
+            except CrashPoint:
+                raise
+            except BaseException as exc:
+                self._abort(txn, txn_new_pages, report)
+                raise RebuildAbortedError(
+                    f"online rebuild aborted: {exc}"
+                ) from exc
             ctx.syncpoints.fire(
                 "rebuild.txn_flushed", new_pages=list(txn_new_pages)
             )
@@ -230,10 +263,14 @@ class OnlineRebuild:
         deallocated: list[int] = []
         nta_new_pages: list[int] = []
         ctx.txns.begin_nta(txn)
+        scheduler = self._scheduler
         try:
             result = copy_multipage(
                 ctx, tree, txn, config, chunk_alloc, p1, cleanup,
                 deallocated, stop_unit=self._end_unit,
+                prefetch_hint=(
+                    scheduler.prefetch_chain if scheduler is not None else None
+                ),
             )
             nta_new_pages.extend(result.new_pages)
             state = PropagationState(
@@ -257,6 +294,13 @@ class OnlineRebuild:
         ctx.txns.end_nta(txn)
         clear_protocol_bits(ctx, txn, cleanup)
         txn_new_pages.extend(nta_new_pages)
+        if scheduler is not None:
+            # Eager write-behind: this top action's pages are final for the
+            # rest of the transaction, so the writer can start cleaning
+            # them while the next top action copies.  The transaction
+            # boundary's barrier still guarantees durability before any
+            # old page is freed.
+            scheduler.submit_write(nta_new_pages)
         report.top_actions += 1
         report.leaf_pages_rebuilt += len(result.old_pages)
         ctx.syncpoints.fire(

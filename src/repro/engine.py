@@ -37,6 +37,7 @@ class Engine:
         lock_timeout: float = 30.0,
         lock_rows: bool = False,
         storage_dir: str | None = None,
+        group_commit_window: float = 0.0,
     ) -> None:
         self.ctx = EngineContext.create(
             page_size=page_size,
@@ -45,6 +46,7 @@ class Engine:
             counters=counters,
             lock_timeout=lock_timeout,
             storage_dir=storage_dir,
+            group_commit_window=group_commit_window,
         )
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows

@@ -46,6 +46,16 @@ class BufferError_(StorageError):
     """
 
 
+class IOSchedulerError(StorageError):
+    """The asynchronous I/O scheduler failed or was stopped mid-operation.
+
+    Raised by :meth:`~repro.storage.io_scheduler.CompletionToken.wait` when
+    the write-behind forcer died, timed out, or was shut down before the
+    force completed — the caller must then fall back to a synchronous flush
+    (the rebuild's abort path does) before freeing any old pages.
+    """
+
+
 class WALError(ReproError):
     """Base class for write-ahead-log errors."""
 

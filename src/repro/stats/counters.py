@@ -40,6 +40,14 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "disk_io_calls",     # physical I/O calls (large buffers batch these)
     "disk_pages_read",
     "disk_pages_written",
+    # Read-ahead prefetch (buffer pool + io_scheduler).
+    "prefetch_admitted",   # pages cached speculatively (run neighbors, read-ahead)
+    "prefetch_hits",       # fetches satisfied by a speculatively cached page
+    "prefetch_unused",     # prefetched pages evicted before anyone fetched them
+    # Write-behind forcing (io_scheduler).
+    "writebehind_batches", # physical flush batches issued by the background forcer
+    "writebehind_pages",   # pages pushed through the forcer
+    "writebehind_forces",  # commit-point barriers (completion-token waits)
     # Tree traffic.
     "traversals",
     "retraversals",
@@ -50,6 +58,8 @@ COUNTER_FIELDS: tuple[str, ...] = (
     # Logging.
     "log_records",
     "log_bytes",
+    "log_flushes",           # physical flushes that made new records durable
+    "log_flushes_coalesced", # flush requests satisfied by another thread's flush
     # Rebuild structure.
     "top_actions",
     "rebuild_transactions",

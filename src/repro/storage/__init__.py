@@ -2,6 +2,7 @@
 
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import Disk
+from repro.storage.io_scheduler import CompletionToken, IOScheduler
 from repro.storage.page import (
     HEADER_SIZE,
     NO_PAGE,
@@ -16,7 +17,9 @@ from repro.storage.page_manager import ChunkAllocator, PageManager, PageState
 __all__ = [
     "BufferPool",
     "ChunkAllocator",
+    "CompletionToken",
     "Disk",
+    "IOScheduler",
     "HEADER_SIZE",
     "NO_PAGE",
     "PAGE_SIZE_DEFAULT",

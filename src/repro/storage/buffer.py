@@ -34,12 +34,15 @@ from repro.storage.page import Page
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count")
+    __slots__ = ("page", "dirty", "pin_count", "prefetched")
 
     def __init__(self, page: Page) -> None:
         self.page = page
         self.dirty = False
         self.pin_count = 0
+        # Admitted speculatively (run neighbor or read-ahead) and not yet
+        # fetched: the first fetch counts a prefetch hit and clears it.
+        self.prefetched = False
 
 
 class BufferPool:
@@ -93,6 +96,9 @@ class BufferPool:
                     frame = self._admit(Page.from_bytes(
                         self.disk.read(page_id), self.disk.page_size
                     ))
+            elif frame.prefetched:
+                self.counters.add("prefetch_hits")
+            frame.prefetched = False
             frame.pin_count += 1
             frames.move_to_end(page_id)  # O(1) LRU touch
             return frame.page
@@ -249,6 +255,8 @@ class BufferPool:
                 )
             return False
         frame = self._frames[victim_id]
+        if frame.prefetched:
+            self.counters.add("prefetch_unused")
         if frame.dirty:
             self._write_frame(victim_id, frame)
         del self._frames[victim_id]
@@ -296,5 +304,64 @@ class BufferPool:
                 )
                 if admitted is None:
                     break
+                admitted.prefetched = True
+                self.counters.add("prefetch_admitted")
         finally:
             target_frame.pin_count -= 1
+
+    # --------------------------------------------------------------- prefetch
+
+    def prefetch(self, page_id: int) -> int | None:
+        """Opportunistically cache a page without pinning it (read-ahead).
+
+        Used by the I/O scheduler's reader thread to pull upcoming source
+        leaves into the pool while the copy loop is busy elsewhere.  Best
+        effort on every axis: an already-resident page, a missing page, or
+        a pool with no *clean* evictable frame all end the attempt quietly —
+        a prefetch must never write a dirty page (that is the write path's
+        job) and never raises.
+
+        Returns the page's ``next_page`` sibling pointer so the caller can
+        chain along the leaf level without re-fetching, or ``None`` when
+        nothing was admitted.
+        """
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                return frame.page.next_page
+            if not self.disk.exists(page_id):
+                return None
+            if len(self._frames) >= self.capacity and not self._evict_one_clean():
+                return None
+            page = Page.from_bytes(self.disk.read(page_id), self.disk.page_size)
+            frame = _Frame(page)
+            frame.prefetched = True
+            self._frames[page_id] = frame
+            # Admit at the LRU end: a prefetched page that is never fetched
+            # should be the first thing pressure reclaims, not the last.
+            self._frames.move_to_end(page_id, last=False)
+            self.counters.add("prefetch_admitted")
+            return page.next_page
+
+    def _evict_one_clean(self) -> bool:
+        """Evict the least-recently-used *clean* unpinned frame, if any."""
+        for pid, frame in self._frames.items():
+            if frame.pin_count == 0 and not frame.dirty:
+                if frame.prefetched:
+                    self.counters.add("prefetch_unused")
+                del self._frames[pid]
+                return True
+        return False
+
+    def evict_all(self) -> None:
+        """Flush every dirty page, then drop all unpinned frames.
+
+        Cold-cache helper for benchmarks: the next phase starts with an
+        empty pool but a consistent disk image.
+        """
+        with self._lock:
+            self._flush_pages_locked(list(self._frames))
+            for pid in [
+                pid for pid, f in self._frames.items() if f.pin_count == 0
+            ]:
+                del self._frames[pid]

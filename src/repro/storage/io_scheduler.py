@@ -1,0 +1,311 @@
+"""Asynchronous I/O pipeline for the online rebuild: read-ahead + write-behind.
+
+The paper's wins come from amortizing per-page costs across batches —
+multipage top actions (§4.3) and large-buffer I/O (§6.3).  This module
+applies the same batching idea along the *time* axis:
+
+* **Read-ahead prefetch.**  While a top action's copy loop is busy with CPU
+  work (planning splits, moving entries), a reader thread walks the source
+  leaf chain ahead of it via :meth:`BufferPool.prefetch`, so the next run of
+  source leaves is already resident when the copy loop gets there.  Prefetch
+  is purely a hint: it never evicts a dirty frame, never pins, and a failure
+  is silently dropped.
+
+* **Write-behind forcing.**  The §3 protocol forces each transaction's new
+  pages to disk before the old pages are freed.  Serially that force sits on
+  the critical path at every transaction boundary.  Here each completed top
+  action hands its new pages to a writer thread (:meth:`IOScheduler.submit_write`),
+  which coalesces them into large ``write_many`` batches while the next top
+  action is copying.  The transaction boundary then issues a **barrier**
+  (:meth:`IOScheduler.force`) and waits on its :class:`CompletionToken` —
+  the §3 invariant (new pages durable before old pages freed) holds exactly,
+  the durability point has just been moved off the copy loop's critical path.
+  Eagerly cleaning new pages also means a pressured buffer pool evicts them
+  for free instead of through one-page-per-call dirty writes.
+
+  The writer retains a trailing partial physical run between batches
+  (``_split_tail``): flushing 33 contiguous pages with 16-page I/O calls
+  costs 3 calls, but flushing 32 now and the 33rd with the *next* batch
+  costs the same 3 calls for more pages.  Only a barrier flushes the tail.
+
+The scheduler fails safe: if the writer thread dies or is killed mid-flight
+(:meth:`kill`, used by fault-injection tests), every pending and future
+token fails with :class:`~repro.errors.IOSchedulerError`, and the rebuild's
+abort path falls back to a synchronous ``flush_pages`` — old pages are never
+freed on the say-so of a force that did not complete.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import IOSchedulerError
+from repro.stats.counters import GLOBAL_COUNTERS, Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.page import NO_PAGE
+
+_FORCE_TIMEOUT = 60.0  # seconds; a stuck writer surfaces as an error, not a hang
+
+
+class CompletionToken:
+    """Handle for one barrier submitted to the write-behind forcer."""
+
+    __slots__ = ("_event", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._error: BaseException | None = None
+
+    def _complete(self) -> None:
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set() and self._error is None
+
+    def wait(self, timeout: float = _FORCE_TIMEOUT) -> None:
+        """Block until the barrier's pages are durable.
+
+        Raises :class:`IOSchedulerError` if the writer died, was killed, or
+        did not finish within ``timeout`` — the caller must then force the
+        pages synchronously before freeing anything.
+        """
+        if not self._event.wait(timeout):
+            raise IOSchedulerError(
+                f"write-behind force did not complete within {timeout:.0f}s"
+            )
+        if self._error is not None:
+            raise IOSchedulerError(
+                f"write-behind force failed: {self._error!r}"
+            ) from self._error
+
+
+class IOScheduler:
+    """Background reader (prefetch) + writer (write-behind) over a pool.
+
+    ``depth`` bounds how many read-ahead requests may be queued; write
+    submissions are never dropped (they carry durability obligations),
+    but the queue is drained by a single writer so submission order is
+    flush order.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        counters: Counters | None = None,
+        depth: int = 1,
+    ) -> None:
+        if depth < 1:
+            raise IOSchedulerError("io scheduler depth must be >= 1")
+        self.buffer = buffer
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.depth = depth
+        self._cv = threading.Condition()
+        # Write queue entries: (page_ids, token | None); a token entry is a
+        # barrier — everything queued before it is durable when it completes.
+        self._writes: deque[tuple[list[int], CompletionToken | None]] = deque()
+        self._tail: list[int] = []  # retained trailing partial physical run
+        self._prefetches: deque[tuple[int, int]] = deque()  # (start, npages)
+        self._stop = False
+        self._killed = False
+        self._broken: BaseException | None = None
+        self._writer: threading.Thread | None = None
+        self._reader: threading.Thread | None = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "IOScheduler":
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="io-writer", daemon=True
+        )
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="io-reader", daemon=True
+        )
+        self._writer.start()
+        self._reader.start()
+        return self
+
+    def close(self) -> None:
+        """Drain queued writes (best effort), stop both threads, join."""
+        try:
+            if self._broken is None and not self._killed:
+                self.drain()
+        except IOSchedulerError:
+            pass
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        for t in (self._writer, self._reader):
+            if t is not None and t is not threading.current_thread():
+                t.join(timeout=_FORCE_TIMEOUT)
+
+    def kill(self) -> None:
+        """Fault injection: the writer dies *now*, failing all pending
+        tokens, as if the I/O thread crashed mid-transaction."""
+        with self._cv:
+            self._killed = True
+            self._cv.notify_all()
+
+    # ----------------------------------------------------------------- writes
+
+    def submit_write(self, page_ids: list[int]) -> None:
+        """Queue pages for background forcing (no completion guarantee yet).
+
+        Called after each top action commits: the pages are immutable for
+        the rest of the rebuild transaction, so they can be written any
+        time between now and the transaction boundary's barrier.
+        """
+        if not page_ids:
+            return
+        with self._cv:
+            if self._stop or self._killed or self._broken is not None:
+                return  # the barrier will fail / fall back synchronously
+            self._writes.append((list(page_ids), None))
+            self._cv.notify_all()
+
+    def force(self, page_ids: list[int]) -> CompletionToken:
+        """Barrier: queue ``page_ids`` and return a token whose ``wait``
+        returns only when *every* write queued so far (including the
+        retained tail) is durable."""
+        token = CompletionToken()
+        with self._cv:
+            if self._stop or self._killed or self._broken is not None:
+                token._fail(
+                    self._broken
+                    if self._broken is not None
+                    else IOSchedulerError("io scheduler is stopped")
+                )
+                return token
+            self._writes.append((list(page_ids), token))
+            self._cv.notify_all()
+        self.counters.add("writebehind_forces")
+        return token
+
+    def drain(self) -> None:
+        """Flush everything queued (tail included) and wait for it."""
+        self.force([]).wait()
+
+    # --------------------------------------------------------------- prefetch
+
+    def prefetch_chain(self, start_page: int, npages: int) -> None:
+        """Hint: the next ``npages`` source leaves starting at ``start_page``
+        will be fetched soon.  Bounded by ``depth``; stale hints (oldest
+        first) are dropped when the queue is full."""
+        if start_page == NO_PAGE or npages <= 0:
+            return
+        with self._cv:
+            if self._stop or self._killed:
+                return
+            while len(self._prefetches) >= self.depth:
+                self._prefetches.popleft()
+            self._prefetches.append((start_page, npages))
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------ writer loop
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not (self._writes or self._stop or self._killed):
+                    self._cv.wait()
+                if self._killed:
+                    self._fail_pending_locked(
+                        IOSchedulerError("io scheduler writer was killed")
+                    )
+                    return
+                if not self._writes and self._stop:
+                    return
+                batch = list(self._writes)
+                self._writes.clear()
+            try:
+                self._process(batch)
+            except BaseException as exc:  # noqa: BLE001 - must fail tokens
+                with self._cv:
+                    self._broken = exc
+                    for _ids, token in batch:
+                        if token is not None:
+                            token._fail(exc)
+                    self._fail_pending_locked(exc)
+                return
+
+    def _fail_pending_locked(self, exc: BaseException) -> None:
+        if self._broken is None:
+            self._broken = exc
+        while self._writes:
+            _ids, token = self._writes.popleft()
+            if token is not None:
+                token._fail(exc)
+
+    def _process(self, batch: list[tuple[list[int], CompletionToken | None]]) -> None:
+        """Flush a drained batch, completing barriers in submission order.
+
+        Non-barrier pages accumulate (starting with the retained tail);
+        a barrier flushes everything accumulated so far and completes its
+        token.  Leftover pages after the last barrier flush except for the
+        trailing partial physical run, which is retained for the next batch.
+        """
+        pending: list[int] = self._tail
+        self._tail = []
+        for ids, token in batch:
+            pending.extend(ids)
+            if token is not None:
+                if pending:
+                    self._flush(pending)
+                    pending = []
+                token._complete()
+        if pending:
+            pending, self._tail = self._split_tail(pending)
+            if pending:
+                self._flush(pending)
+
+    def _split_tail(self, ids: list[int]) -> tuple[list[int], list[int]]:
+        """Split ``ids`` into (flush-now, retain) so the retained part is the
+        trailing *partial* physical run of the final contiguous stretch —
+        the next contiguous submission can complete it into a full-size
+        physical call instead of paying a rounded-up call now."""
+        ppio = self.buffer.disk.pages_per_io
+        if ppio <= 1 or not ids:
+            return ids, []
+        ordered = sorted(set(ids))
+        # Length of the trailing contiguous stretch.
+        run = 1
+        while run < len(ordered) and ordered[-run - 1] == ordered[-run] - 1:
+            run += 1
+        keep = run % ppio
+        if keep == 0 or keep == len(ordered):
+            return (ids, []) if keep == 0 else ([], ids)
+        retain = ordered[-keep:]
+        return ordered[:-keep], retain
+
+    def _flush(self, ids: list[int]) -> None:
+        self.buffer.flush_pages(ids)
+        shard = self.counters.local_shard()
+        shard["writebehind_batches"] += 1
+        shard["writebehind_pages"] += len(ids)
+
+    # ------------------------------------------------------------ reader loop
+
+    def _reader_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not (self._prefetches or self._stop or self._killed):
+                    self._cv.wait()
+                if self._stop or self._killed:
+                    return
+                start, npages = self._prefetches.popleft()
+            try:
+                pid = start
+                for _ in range(npages):
+                    if pid == NO_PAGE:
+                        break
+                    nxt = self.buffer.prefetch(pid)
+                    if nxt is None:
+                        break
+                    pid = nxt
+            except BaseException:  # noqa: BLE001 - prefetch is only a hint
+                continue

@@ -64,28 +64,13 @@ class FileLogManager(LogManager):
 
     # ------------------------------------------------------------------ flush
 
-    def flush_to(self, lsn: int) -> None:
-        with self._lock:
-            start = self._flushed_upto
-            while (
-                self._flushed_upto < len(self._records)
-                and self._offsets[self._flushed_upto] <= lsn
-            ):
-                self._flushed_upto += 1
-            newly = self._records[start : self._flushed_upto]
-            if newly:
-                blob = b"".join(newly)
-                os.pwrite(self._fd, blob, self._file_size)
-                self._file_size += len(blob)
-                os.fsync(self._fd)
-
-    def flush_all(self) -> None:
-        with self._lock:
-            if self._records:
-                last = self._offsets[-1]
-            else:
-                return
-        self.flush_to(last)
+    def _write_flushed(self, start: int, upto: int) -> None:
+        """Append newly durable records to the file and fsync (base-class
+        flush paths — immediate and group commit — both land here)."""
+        blob = b"".join(self._records[start:upto])
+        os.pwrite(self._fd, blob, self._file_size)
+        self._file_size += len(blob)
+        os.fsync(self._fd)
 
     # --------------------------------------------------------------- truncate
 

@@ -7,11 +7,25 @@ volatile: a simulated crash discards it, exactly like losing the log buffer.
 Accounting is kept per record type (bytes and counts) so the Table 1 bench
 can print the breakdown the paper discusses in §4.3 (how batching amortizes
 the 60-byte record overhead).
+
+**Group commit.**  Every committing transaction ends with a ``flush_to`` of
+its commit record.  Serially that is one physical flush per commit; with a
+nonzero ``group_commit_window`` the commit path (``flush_commit``) runs a
+leader/follower protocol instead: the first committer becomes the *leader*,
+waits out the window while other committers register their target LSNs as
+*followers*, then performs one physical flush to the highest requested LSN —
+satisfying every waiter with a single flush.  This is the paper's batching
+idea applied along the time axis: the per-commit log force is amortized over
+however many transactions commit within the window.  Non-commit flushes (the
+buffer pool's WAL hook, checkpoints) always flush immediately — they may run
+under the pool lock and must never sleep.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from bisect import bisect_right
 from collections import defaultdict
 from typing import Callable, Iterator
 
@@ -33,6 +47,12 @@ class LogManager:
         self.bytes_by_type: dict[RecordType, int] = defaultdict(int)
         self.count_by_type: dict[RecordType, int] = defaultdict(int)
         self._flush_listener: Callable[[int], None] | None = None
+        # Group commit: commit-path flushes coalesce within this window
+        # (seconds); 0.0 keeps the serial flush-per-commit behavior.
+        self.group_commit_window = 0.0
+        self._flush_cv = threading.Condition(self._lock)
+        self._gc_leader = False           # a leader is gathering followers
+        self._gc_target = 0               # highest LSN registered this round
 
     # ----------------------------------------------------------------- append
 
@@ -72,18 +92,82 @@ class LogManager:
 
     # ------------------------------------------------------------------ flush
 
-    def flush_to(self, lsn: int) -> None:
-        """Make every record with ``record.lsn <= lsn`` durable (WAL hook)."""
+    def flush_to(self, lsn: int, group: bool = False) -> None:
+        """Make every record with ``record.lsn <= lsn`` durable.
+
+        With ``group=True`` and a nonzero :attr:`group_commit_window`, the
+        call may wait up to the window so concurrent committers share one
+        physical flush.  Plain calls (the buffer pool's WAL hook, the
+        checkpoint) always flush immediately and never sleep.
+        """
+        if group and self.group_commit_window > 0.0:
+            self._group_flush(lsn)
+            return
         with self._lock:
-            while (
-                self._flushed_upto < len(self._records)
-                and self._offsets[self._flushed_upto] <= lsn
-            ):
-                self._flushed_upto += 1
+            self._advance_locked(lsn)
+
+    def flush_commit(self, lsn: int) -> None:
+        """Commit-path flush: participates in group commit when enabled."""
+        self.flush_to(lsn, group=True)
 
     def flush_all(self) -> None:
         with self._lock:
-            self._flushed_upto = len(self._records)
+            if self._offsets:
+                self._advance_locked(self._offsets[-1])
+
+    def _advance_locked(self, lsn: int) -> None:
+        """Advance durability to cover ``lsn``; caller holds ``_lock``.
+
+        Counts a physical flush only when records actually become durable,
+        so ``log_flushes`` measures I/O, not flush *requests*.
+        """
+        upto = bisect_right(self._offsets, lsn)
+        if upto <= self._flushed_upto:
+            return
+        self._write_flushed(self._flushed_upto, upto)
+        self._flushed_upto = upto
+        self.counters.add("log_flushes")
+        self._flush_cv.notify_all()  # wake group-commit followers we covered
+
+    def _write_flushed(self, start: int, upto: int) -> None:
+        """Persist ``_records[start:upto]``; the in-memory log's durability
+        is the index advance itself, so this is a no-op hook for subclasses
+        (:class:`~repro.wal.file_log.FileLogManager` writes and fsyncs)."""
+
+    def _group_flush(self, lsn: int) -> None:
+        """Leader/follower group commit.
+
+        The first committer in a round becomes the *leader*: it registers
+        its target, sleeps out the window (off-lock) while later committers
+        register theirs as *followers*, then performs one flush to the
+        highest registered LSN.  Followers just wait until durability
+        covers their own LSN — usually satisfied by the leader's single
+        physical flush.
+        """
+        with self._flush_cv:
+            if self._flushed_upto and self._offsets[self._flushed_upto - 1] >= lsn:
+                return  # already durable
+            self._gc_target = max(self._gc_target, lsn)
+            if self._gc_leader:
+                # Follower: wait for a flush that covers us.
+                while not (
+                    self._flushed_upto
+                    and self._offsets[self._flushed_upto - 1] >= lsn
+                ):
+                    self._flush_cv.wait(timeout=1.0)
+                self.counters.add("log_flushes_coalesced")
+                return
+            self._gc_leader = True
+        window = self.group_commit_window
+        try:
+            time.sleep(window)
+        finally:
+            with self._flush_cv:
+                target = self._gc_target
+                self._gc_target = 0
+                self._gc_leader = False
+                self._advance_locked(target)
+                self._flush_cv.notify_all()
 
     # ------------------------------------------------------------------- scan
 

@@ -90,18 +90,33 @@ class MixedWorkload:
         for w in self._workers:
             w.start()
 
-    def stop(self) -> OltpStats:
+    def stop(self, join_timeout: float = 30.0) -> OltpStats:
+        """Signal workers to stop and join them, with a deadline.
+
+        A worker stuck past ``join_timeout`` (e.g. deadlocked on an engine
+        bug) is reported in ``stats.errors`` instead of hanging the bench
+        harness forever; the daemon thread is abandoned.
+        """
         self._stop.set()
+        deadline = time.monotonic() + join_timeout
         for w in self._workers:
-            w.join()
+            w.join(max(0.0, deadline - time.monotonic()))
+            if w.is_alive():
+                with self._lock:
+                    self.stats.errors.append(
+                        f"stuck: worker {w.name} did not stop within "
+                        f"{join_timeout:.1f}s"
+                    )
         self.stats.duration_seconds = time.perf_counter() - self._started_at
         return self.stats
 
-    def run_for(self, seconds: float) -> OltpStats:
+    def run_for(
+        self, seconds: float, join_timeout: float = 30.0
+    ) -> OltpStats:
         """Convenience: start, sleep, stop."""
         self.start()
         time.sleep(seconds)
-        return self.stop()
+        return self.stop(join_timeout=join_timeout)
 
     # --------------------------------------------------------------- workers
 

@@ -1,0 +1,231 @@
+"""Unit tests for the asynchronous I/O scheduler (read-ahead + write-behind)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import IOSchedulerError
+from repro.stats.counters import Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.io_scheduler import CompletionToken, IOScheduler
+from repro.storage.page import NO_PAGE, PAGE_SIZE_DEFAULT, Page
+
+
+def make_pool(capacity: int = 64, pages: int = 0) -> tuple[BufferPool, Counters]:
+    counters = Counters()
+    disk = Disk(page_size=PAGE_SIZE_DEFAULT, io_size=PAGE_SIZE_DEFAULT * 4,
+                counters=counters)
+    pool = BufferPool(disk, capacity=capacity, counters=counters)
+    for pid in range(1, pages + 1):
+        disk.write(pid, Page(pid, PAGE_SIZE_DEFAULT).to_bytes())
+    return pool, counters
+
+
+def dirty_pages(pool: BufferPool, ids: list[int]) -> None:
+    for pid in ids:
+        page = pool.new_page(pid)
+        page.page_lsn = 0
+        pool.unpin(pid, dirty=True)
+
+
+# ----------------------------------------------------------------- tokens
+
+
+def test_token_wait_raises_on_timeout():
+    token = CompletionToken()
+    with pytest.raises(IOSchedulerError):
+        token.wait(timeout=0.01)
+
+
+def test_token_wait_raises_on_failure():
+    token = CompletionToken()
+    token._fail(RuntimeError("disk on fire"))
+    with pytest.raises(IOSchedulerError, match="disk on fire"):
+        token.wait(timeout=0.01)
+    assert not token.done
+
+
+def test_token_done_after_complete():
+    token = CompletionToken()
+    token._complete()
+    token.wait(timeout=0.01)
+    assert token.done
+
+
+# ------------------------------------------------------------ write-behind
+
+
+def test_force_makes_pages_durable():
+    pool, counters = make_pool()
+    dirty_pages(pool, [1, 2, 3, 4])
+    sched = IOScheduler(pool, counters=counters).start()
+    try:
+        sched.force([1, 2, 3, 4]).wait(timeout=10.0)
+        for pid in (1, 2, 3, 4):
+            assert pool.disk.exists(pid)
+        assert counters.writebehind_pages == 4
+        assert counters.writebehind_forces == 1
+    finally:
+        sched.close()
+
+
+def test_submit_then_force_orders_correctly():
+    pool, counters = make_pool()
+    dirty_pages(pool, list(range(1, 9)))
+    sched = IOScheduler(pool, counters=counters).start()
+    try:
+        sched.submit_write([1, 2, 3, 4])
+        sched.force([5, 6, 7, 8]).wait(timeout=10.0)
+        for pid in range(1, 9):
+            assert pool.disk.exists(pid)
+    finally:
+        sched.close()
+
+
+def test_kill_fails_pending_and_future_tokens():
+    pool, counters = make_pool()
+    dirty_pages(pool, [1, 2])
+    sched = IOScheduler(pool, counters=counters).start()
+    sched.kill()
+    token = sched.force([1, 2])
+    with pytest.raises(IOSchedulerError):
+        token.wait(timeout=5.0)
+    sched.close()
+
+
+def test_force_after_close_fails_fast():
+    pool, _ = make_pool()
+    sched = IOScheduler(pool).start()
+    sched.close()
+    with pytest.raises(IOSchedulerError):
+        sched.force([1]).wait(timeout=1.0)
+
+
+def test_close_drains_submitted_writes():
+    pool, _ = make_pool()
+    dirty_pages(pool, [1, 2, 3])
+    sched = IOScheduler(pool).start()
+    sched.submit_write([1, 2, 3])
+    sched.close()
+    for pid in (1, 2, 3):
+        assert pool.disk.exists(pid)
+
+
+# -------------------------------------------------- tail-retention batching
+
+
+def test_split_tail_retains_partial_run():
+    pool, _ = make_pool()  # pages_per_io = 4
+    sched = IOScheduler(pool)
+    flush_now, retain = sched._split_tail([1, 2, 3, 4, 5, 6])
+    assert flush_now == [1, 2, 3, 4]
+    assert retain == [5, 6]
+
+
+def test_split_tail_full_runs_flush_everything():
+    pool, _ = make_pool()
+    sched = IOScheduler(pool)
+    flush_now, retain = sched._split_tail([1, 2, 3, 4, 5, 6, 7, 8])
+    assert flush_now == [1, 2, 3, 4, 5, 6, 7, 8]
+    assert retain == []
+
+
+def test_split_tail_all_partial_retains_everything():
+    pool, _ = make_pool()
+    sched = IOScheduler(pool)
+    flush_now, retain = sched._split_tail([9, 10])
+    assert flush_now == []
+    assert retain == [9, 10]
+
+
+def test_tail_retention_saves_physical_calls():
+    """Two 6-page contiguous submissions through the writer cost the same
+    physical calls as one 12-page flush would (3 calls at 4 pages/call),
+    not the 4 calls two rounded-up 6-page flushes would cost."""
+    pool, counters = make_pool()
+    dirty_pages(pool, list(range(1, 13)))
+    before = counters.snapshot()
+    sched = IOScheduler(pool, counters=counters).start()
+    try:
+        sched.submit_write([1, 2, 3, 4, 5, 6])
+        sched.force([7, 8, 9, 10, 11, 12]).wait(timeout=10.0)
+    finally:
+        sched.close()
+    assert counters.diff(before)["disk_io_calls"] == 3
+
+
+# ---------------------------------------------------------------- prefetch
+
+
+def test_prefetch_chain_populates_pool():
+    pool, counters = make_pool(pages=6)
+    # Link 1 -> 2 -> 3 on disk so the chain walk can follow next_page.
+    for pid in (1, 2, 3):
+        page = Page(pid, PAGE_SIZE_DEFAULT)
+        page.next_page = pid + 1 if pid < 3 else NO_PAGE
+        pool.disk.write(pid, page.to_bytes())
+    sched = IOScheduler(pool, counters=counters, depth=2).start()
+    try:
+        sched.prefetch_chain(1, 3)
+        deadline = time.monotonic() + 5.0
+        while counters.prefetch_admitted < 3:
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.005)
+        assert pool.is_resident(1)
+        assert pool.is_resident(2)
+        assert pool.is_resident(3)
+    finally:
+        sched.close()
+
+
+def test_prefetch_never_evicts_dirty_frames():
+    pool, counters = make_pool(capacity=8, pages=20)
+    # Fill the pool with dirty frames (unpinned but unwritten).
+    dirty = list(range(13, 21))
+    dirty_pages(pool, dirty)
+    writes_before = counters.page_writes
+    assert pool.prefetch(1) is None  # no clean victim: prefetch backs off
+    assert counters.page_writes == writes_before
+    for pid in dirty:
+        assert pool.is_resident(pid)
+
+
+def test_prefetch_missing_page_is_silent():
+    pool, _ = make_pool(pages=2)
+    assert pool.prefetch(99) is None
+
+
+def test_prefetched_page_counts_hit_on_fetch():
+    pool, counters = make_pool(pages=4)
+    pool.prefetch(2)
+    assert pool.is_resident(2)
+    pool.fetch(2)
+    pool.unpin(2)
+    assert counters.prefetch_hits == 1
+    # A second fetch is a plain cache hit, not another prefetch hit.
+    pool.fetch(2)
+    pool.unpin(2)
+    assert counters.prefetch_hits == 1
+
+
+def test_unused_prefetch_counted_on_eviction():
+    pool, counters = make_pool(capacity=8, pages=20)
+    pool.prefetch(1)
+    # Fault in enough pages to evict the unused prefetched frame.
+    for pid in range(2, 12):
+        pool.fetch(pid)
+        pool.unpin(pid)
+    assert counters.prefetch_unused >= 1
+
+
+def test_depth_bounds_queued_hints():
+    pool, _ = make_pool(pages=2)
+    sched = IOScheduler(pool, depth=2)  # not started: queue only
+    sched.prefetch_chain(1, 1)
+    sched.prefetch_chain(2, 1)
+    sched.prefetch_chain(1, 1)  # oldest hint dropped
+    assert len(sched._prefetches) == 2

@@ -1,0 +1,116 @@
+"""Group commit: concurrent commit-path flushes share physical flushes."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.stats.counters import Counters
+from repro.wal.file_log import FileLogManager
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord, RecordType
+
+
+def _append(log: LogManager) -> int:
+    return log.append(LogRecord(type=RecordType.TXN_COMMIT))
+
+
+def _concurrent_commits(log: LogManager, n: int) -> None:
+    """N threads, each appending one commit record and flushing it through
+    the commit path, released together by a barrier."""
+    barrier = threading.Barrier(n)
+
+    def committer() -> None:
+        lsn = _append(log)
+        barrier.wait()
+        log.flush_commit(lsn)
+
+    threads = [threading.Thread(target=committer) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_group_commit_coalesces_flushes():
+    counters = Counters()
+    log = LogManager(counters=counters)
+    log.group_commit_window = 0.01
+    n = 8
+    _concurrent_commits(log, n)
+    # Every record is durable...
+    assert len(list(log.scan(durable_only=True))) == n
+    # ...but in fewer physical flushes than one per committer.
+    assert counters.log_flushes < n
+    assert counters.log_flushes >= 1
+    assert counters.log_flushes + counters.log_flushes_coalesced >= n - 1
+
+
+def test_window_zero_flushes_per_commit():
+    counters = Counters()
+    log = LogManager(counters=counters)  # window defaults to 0.0
+    n = 4
+    for _ in range(n):
+        log.flush_commit(_append(log))
+    assert counters.log_flushes == n
+
+
+def test_flush_counts_only_real_io():
+    counters = Counters()
+    log = LogManager(counters=counters)
+    lsn = _append(log)
+    log.flush_to(lsn)
+    log.flush_to(lsn)  # already durable: no new physical flush
+    log.flush_to(lsn - 1)
+    assert counters.log_flushes == 1
+
+
+def test_wal_hook_path_never_waits_on_window():
+    """Non-commit flushes (group=False) must be immediate even with a
+    window configured — they can run under the buffer-pool lock."""
+    counters = Counters()
+    log = LogManager(counters=counters)
+    log.group_commit_window = 10.0  # absurd window: a wait would hang
+    lsn = _append(log)
+    log.flush_to(lsn)  # returns immediately
+    assert log.flushed_lsn > 0
+    assert counters.log_flushes == 1
+
+
+def test_group_commit_file_log_durability(tmp_path):
+    """Grouped flushes reach the file: records survive a reopen."""
+    path = str(tmp_path / "wal.log")
+    log = FileLogManager(path, counters=Counters())
+    log.group_commit_window = 0.005
+    _concurrent_commits(log, 6)
+    log.close()
+    reopened = FileLogManager(path, counters=Counters())
+    assert len(list(reopened.scan(durable_only=True))) == 6
+    reopened.close()
+
+
+def test_follower_satisfied_by_unrelated_flush():
+    """A plain flush covering a follower's LSN must wake it (the notify
+    in _advance_locked), not leave it waiting for a leader."""
+    counters = Counters()
+    log = LogManager(counters=counters)
+    log.group_commit_window = 0.05
+    first = _append(log)
+    second = _append(log)
+
+    leader_started = threading.Event()
+    orig_sleep_done = threading.Event()
+
+    def leader() -> None:
+        leader_started.set()
+        log.flush_commit(first)
+        orig_sleep_done.set()
+
+    t = threading.Thread(target=leader)
+    t.start()
+    leader_started.wait()
+    # While the leader sleeps out its window, an immediate flush covers
+    # everything; the leader's flush then finds nothing left to do.
+    log.flush_to(second)
+    t.join(5.0)
+    assert not t.is_alive()
+    assert counters.log_flushes == 1

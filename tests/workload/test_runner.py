@@ -49,3 +49,39 @@ def test_read_only_workload():
     assert stats.scans > 0
     assert stats.inserts == stats.deletes == 0
     assert index.contents() == before
+
+
+def test_stuck_worker_reported_not_hung():
+    """A worker that never observes the stop flag must not hang stop():
+    the join times out and the worker is reported in stats.errors."""
+    import threading
+
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 200, 2):
+        index.insert(intkey(k), k)
+    release = threading.Event()
+    workload = MixedWorkload(
+        index, intkey, key_count=200, threads=2, write_fraction=0.5,
+        before_op=release.wait,  # workers block here forever
+    )
+    workload.start()
+    try:
+        stats = workload.stop(join_timeout=0.2)
+    finally:
+        release.set()  # let the daemon threads exit
+    stuck = [e for e in stats.errors if e.startswith("stuck:")]
+    assert len(stuck) == 2
+    assert "did not stop within 0.2s" in stuck[0]
+
+
+def test_stop_joins_cleanly_within_timeout():
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 200, 2):
+        index.insert(intkey(k), k)
+    workload = MixedWorkload(
+        index, intkey, key_count=200, threads=2, write_fraction=0.5,
+    )
+    stats = workload.run_for(0.1, join_timeout=10.0)
+    assert stats.errors == []

@@ -6,6 +6,8 @@ Usage (see ``docs/performance.md`` for the trajectory workflow)::
     PYTHONPATH=src python benchmarks/run_perf.py [--quick] [--json out.json]
     PYTHONPATH=src python benchmarks/run_perf.py --pipeline | --no-pipeline
     PYTHONPATH=src python benchmarks/run_perf.py --ab 3   # BENCH_PR3.json payload
+    PYTHONPATH=src python benchmarks/run_perf.py --faults off      # no CRC trailers
+    PYTHONPATH=src python benchmarks/run_perf.py --faults-ab 3  # BENCH_PR4.json payload
 """
 
 from repro.bench.perf import main

@@ -107,6 +107,7 @@ def run_scenario(
     pipeline_depth: int = 0,
     group_commit_window: float = 0.0,
     cold_rebuild: bool = False,
+    checksums: bool = True,
 ) -> PerfResult:
     """Build, fragment, and online-rebuild an index; return all timings.
 
@@ -116,6 +117,8 @@ def run_scenario(
     rebuild's :class:`RebuildConfig` (0 / 0.0 = the serial defaults).
     ``cold_rebuild`` empties the buffer pool before the rebuild phase so
     the phase measures real I/O, not residual build-phase cache.
+    ``checksums=False`` disables the page-image CRC trailers (the PR 4
+    fault-hardening A/B uses this to price the durability plumbing).
     """
     result = PerfResult(
         config={
@@ -128,10 +131,12 @@ def run_scenario(
             "pipeline_depth": pipeline_depth,
             "group_commit_window": group_commit_window,
             "cold_rebuild": cold_rebuild,
+            "checksums": checksums,
         }
     )
     engine = Engine(
-        buffer_capacity=buffer_capacity, io_size=io_size, lock_timeout=120.0
+        buffer_capacity=buffer_capacity, io_size=io_size, lock_timeout=120.0,
+        checksums=checksums,
     )
     rnd = random.Random(seed)
 
@@ -311,6 +316,78 @@ def run_pipeline_ab(
     }
 
 
+def run_faults_ab(
+    rounds: int = 3,
+    key_count: int = DEFAULT_KEYS,
+    seed: int = 42,
+    buffer_capacity: int = AB_CAPACITY,
+) -> dict:
+    """Checksums-on vs checksums-off A/B; returns the ``BENCH_PR4.json``
+    payload.
+
+    Interleaved runs of the PR 3 pipelined cold-rebuild scenario (pressured
+    pool, no traffic, so the numbers are deterministic modulo scheduler
+    noise), with the CRC trailers and retry plumbing priced by the only
+    thing PR 4 added to the fault-free hot path: sealing on write,
+    verifying on read, and one extra ``try`` frame per I/O.  The acceptance
+    bar is < 5% wall-clock overhead on the full scenario.
+    """
+    pairs = []
+    for n in range(1, rounds + 1):
+        entry: dict = {"pair": n}
+        for label, on in (("checksums_off", False), ("checksums_on", True)):
+            r = run_scenario(
+                key_count=key_count, seed=seed, traffic_threads=0,
+                buffer_capacity=buffer_capacity, cold_rebuild=True,
+                pipeline_depth=AB_PIPELINE_DEPTH, checksums=on,
+            )
+            entry[label] = {
+                "total_wall_seconds": r.total_wall_seconds,
+                "rebuild": _rebuild_metrics(r),
+            }
+        pairs.append(entry)
+
+    def best(side: str, metric: str) -> float:
+        return min(p[side][metric] for p in pairs)
+
+    off_min = best("checksums_off", "total_wall_seconds")
+    on_min = best("checksums_on", "total_wall_seconds")
+    summary = {
+        "total_wall_seconds": {
+            "checksums_off_min": off_min,
+            "checksums_on_min": on_min,
+            "overhead_percent": round(
+                (on_min - off_min) / max(off_min, 1e-9) * 100.0, 2
+            ),
+        },
+        "rebuild_wall_seconds": {
+            "checksums_off_min": min(
+                p["checksums_off"]["rebuild"]["wall_seconds"] for p in pairs
+            ),
+            "checksums_on_min": min(
+                p["checksums_on"]["rebuild"]["wall_seconds"] for p in pairs
+            ),
+        },
+    }
+    return {
+        "benchmark": (
+            "benchmarks/run_perf.py --faults-ab: pipelined cold rebuild "
+            f"({key_count} keys, {buffer_capacity}-frame pool, "
+            f"pipeline_depth={AB_PIPELINE_DEPTH}, no traffic) with page CRC "
+            "trailers + retry plumbing on vs off"
+        ),
+        "methodology": (
+            "Interleaved A/B on the same seeded scenario and host; minima "
+            "across rounds are compared (noise is additive). The off side "
+            "writes zeroed trailers and skips verification, so the delta "
+            "is exactly the crc32 seal/verify cost plus the retry-wrapper "
+            "overhead on the fault-free path."
+        ),
+        "pairs": pairs,
+        "summary": summary,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the repo's perf-trajectory scenario and emit JSON."
@@ -350,6 +427,15 @@ def main(argv: list[str] | None = None) -> int:
              "emitting the BENCH_PR3.json payload",
     )
     parser.add_argument(
+        "--faults", choices=("on", "off"), default="on",
+        help="'off' disables page CRC trailers for the run (checksums=False)",
+    )
+    parser.add_argument(
+        "--faults-ab", type=int, metavar="N", default=0,
+        help="interleaved checksums on/off A/B: N rounds of the pipelined "
+             "cold-rebuild scenario, emitting the BENCH_PR4.json payload",
+    )
+    parser.add_argument(
         "--capacity", type=int, default=None,
         help="buffer pool frames (default 16384; pipeline modes default "
              f"to the pressured {AB_CAPACITY})",
@@ -363,11 +449,20 @@ def main(argv: list[str] | None = None) -> int:
         threads = 0
     key_count = key_count or DEFAULT_KEYS
 
+    checksums = args.faults != "off"
     if args.ab:
         payload = json.dumps(
             run_pipeline_ab(
                 rounds=args.ab, key_count=key_count, seed=args.seed,
                 traffic_threads=threads,
+                buffer_capacity=args.capacity or AB_CAPACITY,
+            ),
+            indent=1,
+        )
+    elif args.faults_ab:
+        payload = json.dumps(
+            run_faults_ab(
+                rounds=args.faults_ab, key_count=key_count, seed=args.seed,
                 buffer_capacity=args.capacity or AB_CAPACITY,
             ),
             indent=1,
@@ -381,12 +476,14 @@ def main(argv: list[str] | None = None) -> int:
             group_commit_window=(
                 AB_GROUP_COMMIT_WINDOW if args.pipeline else 0.0
             ),
+            checksums=checksums,
         )
         payload = result.to_json()
     else:
         result = run_scenario(
             key_count=key_count, seed=args.seed, traffic_threads=threads,
             buffer_capacity=args.capacity or 16384,
+            checksums=checksums,
         )
         payload = result.to_json()
     if args.json == "-":

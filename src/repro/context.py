@@ -59,6 +59,10 @@ class EngineContext:
         lock_timeout: float = 30.0,
         storage_dir: str | None = None,
         group_commit_window: float = 0.0,
+        fault_plan=None,
+        checksums: bool = True,
+        io_retry_limit: int = 12,
+        io_retry_backoff: float = 0.0005,
     ) -> "EngineContext":
         """Wire up a fresh engine: disk, pool, log, locks, transactions.
 
@@ -66,6 +70,12 @@ class EngineContext:
         backed by real files (``data.pages`` / ``wal.log``) in that
         directory, so the database survives process restarts — reattach
         with :meth:`repro.engine.Engine.open`.
+
+        ``fault_plan`` (a :class:`~repro.storage.faults.FaultPlan`) wraps
+        the disk in a :class:`~repro.storage.faults.FaultyDisk`, injecting
+        that plan's faults into every physical I/O.  ``io_retry_limit`` /
+        ``io_retry_backoff`` tune the buffer pool's transient-error retry
+        layer; ``checksums=False`` disables CRC sealing (bench A/B only).
         """
         counters = counters if counters is not None else Counters()
         if storage_dir is not None:
@@ -80,17 +90,31 @@ class EngineContext:
                 page_size=page_size,
                 io_size=io_size,
                 counters=counters,
+                checksums=checksums,
             )
             log: LogManager = FileLogManager(
                 os.path.join(storage_dir, "wal.log"), counters=counters
             )
         else:
             disk = Disk(
-                page_size=page_size, io_size=io_size, counters=counters
+                page_size=page_size,
+                io_size=io_size,
+                counters=counters,
+                checksums=checksums,
             )
             log = LogManager(counters=counters)
+        if fault_plan is not None:
+            from repro.storage.faults import FaultyDisk
+
+            disk = FaultyDisk(disk, fault_plan, counters=counters)
         log.group_commit_window = group_commit_window
-        buffer = BufferPool(disk, capacity=buffer_capacity, counters=counters)
+        buffer = BufferPool(
+            disk,
+            capacity=buffer_capacity,
+            counters=counters,
+            retry_limit=io_retry_limit,
+            retry_backoff=io_retry_backoff,
+        )
         page_manager = PageManager(disk, counters=counters)
         buffer.set_wal_hook(log.flush_to)
         latches = LatchManager(counters=counters, timeout=lock_timeout)

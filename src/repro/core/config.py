@@ -52,6 +52,11 @@ class RebuildConfig:
     """Seconds the rebuild sets as the log's group-commit window for its
     duration (0.0 leaves the log untouched: one physical flush per
     commit)."""
+    io_retry_limit: int | None = None
+    """Transient-I/O retry budget the rebuild sets on the buffer pool for
+    its duration (None leaves the pool's own limit untouched).  Raising it
+    lets a rebuild ride out a transient-error storm that would be
+    unreasonable to absorb on user-facing reads."""
 
     def __post_init__(self) -> None:
         if self.ntasize < 1:
@@ -75,4 +80,8 @@ class RebuildConfig:
             raise RebuildError(
                 "group_commit_window must be >= 0, "
                 f"got {self.group_commit_window}"
+            )
+        if self.io_retry_limit is not None and self.io_retry_limit < 0:
+            raise RebuildError(
+                f"io_retry_limit must be >= 0, got {self.io_retry_limit}"
             )

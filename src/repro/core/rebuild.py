@@ -145,6 +145,9 @@ class OnlineRebuild:
         saved_window = ctx.log.group_commit_window
         if config.group_commit_window > 0.0:
             ctx.log.group_commit_window = config.group_commit_window
+        saved_retry = ctx.buffer.retry_limit
+        if config.io_retry_limit is not None:
+            ctx.buffer.retry_limit = config.io_retry_limit
         try:
             with timer:
                 self._drive(chunk_alloc, traversal, report)
@@ -153,6 +156,7 @@ class OnlineRebuild:
                 self._scheduler.close()
                 self._scheduler = None
             ctx.log.group_commit_window = saved_window
+            ctx.buffer.retry_limit = saved_retry
             chunk_alloc.close()
             tree._rebuild_active = False  # type: ignore[attr-defined]
         report.wall_seconds = timer.wall_seconds
@@ -385,12 +389,27 @@ class OnlineRebuild:
         here the transaction itself aborts (a no-op for completed NTAs,
         which rollback skips via their dummy CLRs), new pages are flushed,
         and pages deallocated by completed top actions are freed.
+
+        If the flush itself fails (the disk is the reason we are aborting —
+        e.g. a PermanentIOError), the §3 ordering still holds: the old
+        pages stay DEALLOCATED, *not* freed, because freeing them before
+        the new pages are durable is exactly what the paper forbids.
+        Recovery (or the next checkpoint's flush) makes the new pages
+        durable and then releases them.
         """
         ctx = self.ctx
         ctx.latches.release_all()
-        ctx.buffer.flush_pages(txn_new_pages)
+        flushed = False
+        try:
+            ctx.buffer.flush_pages(txn_new_pages)
+            flushed = True
+        except CrashPoint:
+            raise
+        except BaseException:
+            pass  # keep aborting; see docstring — old pages are not freed
         ctx.txns.abort(txn)
-        report.pages_freed += self._free_deallocated_of(txn)
+        if flushed:
+            report.pages_freed += self._free_deallocated_of(txn)
         report.aborted = True
         ctx.syncpoints.fire("rebuild.aborted")
 

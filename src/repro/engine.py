@@ -38,6 +38,10 @@ class Engine:
         lock_rows: bool = False,
         storage_dir: str | None = None,
         group_commit_window: float = 0.0,
+        fault_plan=None,
+        checksums: bool = True,
+        io_retry_limit: int = 12,
+        io_retry_backoff: float = 0.0005,
     ) -> None:
         self.ctx = EngineContext.create(
             page_size=page_size,
@@ -47,6 +51,10 @@ class Engine:
             lock_timeout=lock_timeout,
             storage_dir=storage_dir,
             group_commit_window=group_commit_window,
+            fault_plan=fault_plan,
+            checksums=checksums,
+            io_retry_limit=io_retry_limit,
+            io_retry_backoff=io_retry_backoff,
         )
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows

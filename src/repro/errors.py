@@ -46,6 +46,37 @@ class BufferError_(StorageError):
     """
 
 
+class TransientIOError(StorageError):
+    """A disk call failed in a way that a retry may fix (EINTR-style).
+
+    Raised by fault injection (:mod:`repro.storage.faults`); the buffer
+    pool and the I/O scheduler retry these with capped exponential backoff
+    (:meth:`~repro.storage.buffer.BufferPool.retrying`), so a transient
+    storm slows the rebuild down but never aborts it.
+    """
+
+
+class PermanentIOError(StorageError):
+    """A disk call failed hard (media failure); retrying cannot help.
+
+    The rebuild surfaces this through its §4.1.3 abort path: the in-flight
+    top action rolls back, completed top actions keep their progress, and
+    the rebuild can be re-run once the fault clears.
+    """
+
+
+class ChecksumError(StorageError):
+    """A stored page image failed its CRC32 trailer check.
+
+    Means the page *was* written at some point but the stored bytes are not
+    what the engine wrote — a torn ``write_many``, a lost sector, or bit
+    rot.  For pages covered by redo (a rebuild's new pages before their
+    transaction boundary) recovery reconstructs the image; for committed
+    data with no redo coverage this surfaces loudly rather than letting the
+    tree silently diverge.
+    """
+
+
 class IOSchedulerError(StorageError):
     """The asynchronous I/O scheduler failed or was stopped mid-operation.
 

@@ -40,6 +40,14 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "disk_io_calls",     # physical I/O calls (large buffers batch these)
     "disk_pages_read",
     "disk_pages_written",
+    # Durability hardening (fault injection, checksums, retries).
+    "disk_read_short",   # page rejected: short read (never fully written)
+    "disk_read_bad_magic",  # page rejected: header magic missing
+    "disk_read_bad_crc",    # page rejected: CRC32 trailer mismatch
+    "io_retries",        # TransientIOError retries taken by the buffer pool
+    "writebehind_retries",  # TransientIOError retries by the write-behind forcer
+    "faults_injected",   # faults the FaultyDisk wrapper actually fired
+    "log_torn_tail",     # torn WAL tails truncated at open
     # Read-ahead prefetch (buffer pool + io_scheduler).
     "prefetch_admitted",   # pages cached speculatively (run neighbors, read-ahead)
     "prefetch_hits",       # fetches satisfied by a speculatively cached page

@@ -24,10 +24,11 @@ tests exercise.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable
 
-from repro.errors import BufferError_, StorageError
+from repro.errors import BufferError_, TransientIOError
 from repro.stats.counters import GLOBAL_COUNTERS, Counters
 from repro.storage.disk import Disk
 from repro.storage.page import Page
@@ -59,11 +60,17 @@ class BufferPool:
         disk: Disk,
         capacity: int = 1024,
         counters: Counters | None = None,
+        retry_limit: int = 12,
+        retry_backoff: float = 0.0005,
+        retry_backoff_cap: float = 0.01,
     ) -> None:
         if capacity < 8:
             raise BufferError_("buffer pool needs at least 8 frames")
         self.disk = disk
         self.capacity = capacity
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         # Plain Lock: no public method re-enters another (flush_all uses
@@ -74,6 +81,34 @@ class BufferPool:
     def set_wal_hook(self, hook: Callable[[int], None]) -> None:
         """Install ``flush_log_to(lsn)``, called before any dirty write."""
         self._wal_hook = hook
+
+    # ------------------------------------------------------------------ retry
+
+    def retrying(self, fn: Callable[[], object]):  # noqa: ANN201
+        """Run a disk call, absorbing :class:`TransientIOError` with capped
+        exponential backoff (``retry_backoff * 2**attempt``, capped).
+
+        After ``retry_limit`` failed attempts the error propagates — at a
+        30% injected failure rate, 12 retries leave ~5e-7 per call, so a
+        transient storm slows the rebuild but does not abort it.  Anything
+        that is not a :class:`TransientIOError` (PermanentIOError,
+        ChecksumError, CrashPoint) passes straight through.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientIOError:
+                attempt += 1
+                if attempt > self.retry_limit:
+                    raise
+                self.counters.add("io_retries")
+                time.sleep(
+                    min(
+                        self.retry_backoff * (1 << (attempt - 1)),
+                        self.retry_backoff_cap,
+                    )
+                )
 
     # ------------------------------------------------------------------ fetch
 
@@ -94,7 +129,8 @@ class BufferPool:
                     frame = frames.get(page_id)
                 if frame is None:
                     frame = self._admit(Page.from_bytes(
-                        self.disk.read(page_id), self.disk.page_size
+                        self.retrying(lambda: self.disk.read(page_id)),
+                        self.disk.page_size,
                     ))
             elif frame.prefetched:
                 self.counters.add("prefetch_hits")
@@ -193,7 +229,7 @@ class BufferPool:
         )
         if self._wal_hook is not None:
             self._wal_hook(max_lsn)
-        self.disk.write_many(images)
+        self.retrying(lambda: self.disk.write_many(images))
         self.counters.add("page_writes", len(images))
         for frame in dirty_frames.values():
             frame.dirty = False
@@ -267,7 +303,8 @@ class BufferPool:
             return
         if self._wal_hook is not None:
             self._wal_hook(frame.page.page_lsn)
-        self.disk.write(page_id, frame.page.to_bytes())
+        image = frame.page.to_bytes()
+        self.retrying(lambda: self.disk.write(page_id, image))
         self.counters.add("page_writes")
         frame.dirty = False
 
@@ -283,12 +320,17 @@ class BufferPool:
         """
         ppio = self.disk.pages_per_io
         start = ((page_id - 1) // ppio) * ppio + 1
-        images = self.disk.read_run(start, ppio)
+        images = self.retrying(lambda: self.disk.read_run(start, ppio))
         target_image = images[page_id - start]
         target_frame = self._frames.get(page_id)
         if target_frame is None:
             if target_image is None:
-                raise StorageError(f"page {page_id} was never written")
+                # read_run treats an invalid slot as absent; re-read the
+                # required page directly so the disk raises the precise
+                # error (never written vs ChecksumError).
+                target_image = self.retrying(
+                    lambda: self.disk.read(page_id)
+                )
             target_frame = self._admit(
                 Page.from_bytes(target_image, self.disk.page_size)
             )
@@ -333,7 +375,10 @@ class BufferPool:
                 return None
             if len(self._frames) >= self.capacity and not self._evict_one_clean():
                 return None
-            page = Page.from_bytes(self.disk.read(page_id), self.disk.page_size)
+            page = Page.from_bytes(
+                self.retrying(lambda: self.disk.read(page_id)),
+                self.disk.page_size,
+            )
             frame = _Frame(page)
             frame.prefetched = True
             self._frames[page_id] = frame

@@ -13,15 +13,37 @@ moved: a run of N contiguous pages written through a large buffer costs
 Everything written is durable immediately (a crash discards only the buffer
 pool, never the disk), matching the paper's "forced write" assumption
 (footnote 7: no careful-writing order tracking is required).
+
+**Checksums.**  The stored *physical* image of a page is the logical page
+image plus a 4-byte CRC32 trailer computed at write time and verified at
+read time.  Keeping the trailer outside the logical page format means page
+capacity, the slotted layout, and every byte-accounting invariant are
+untouched; the trailer exists only between the disk and its client.  A
+mismatch raises :class:`~repro.errors.ChecksumError` — the page *was*
+written but its bytes are not what the engine wrote (torn write, bit rot).
+A page never written at all stays a plain :class:`StorageError`, which is
+the distinction recovery relies on: torn *new* pages are reconstructible
+from the log (§3: redo can re-read the still-unfreed source pages), while
+corrupt committed data must fail loudly.
+
+The ``read_physical`` / ``write_physical`` hooks bypass sealing and
+verification; they exist for the fault injector
+(:mod:`repro.storage.faults`) to plant torn and corrupted images that then
+flow through the *real* detection path.
 """
 
 from __future__ import annotations
 
+import struct
 import threading
+import zlib
 
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
 from repro.stats.counters import GLOBAL_COUNTERS, Counters
 from repro.storage.page import PAGE_SIZE_DEFAULT
+
+CRC_TRAILER_SIZE = 4
+_CRC = struct.Struct("<I")
 
 
 class Disk:
@@ -32,10 +54,15 @@ class Disk:
         page_size: int = PAGE_SIZE_DEFAULT,
         io_size: int | None = None,
         counters: Counters | None = None,
+        checksums: bool = True,
     ) -> None:
         """``io_size`` is the physical transfer size in bytes (default: one
         page).  It must be a multiple of ``page_size``; 16384 with 2048-byte
-        pages reproduces the paper's 16 KB buffer-pool configuration."""
+        pages reproduces the paper's 16 KB buffer-pool configuration.
+
+        ``checksums=False`` skips CRC computation and verification (the
+        physical layout keeps its trailer, zeroed) — the perf harness uses
+        it to price the checksum plumbing."""
         if io_size is None:
             io_size = page_size
         if io_size % page_size != 0:
@@ -45,9 +72,39 @@ class Disk:
         self.page_size = page_size
         self.io_size = io_size
         self.pages_per_io = io_size // page_size
+        self.checksums = checksums
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
         self._pages: dict[int, bytes] = {}
         self._lock = threading.Lock()
+
+    # --------------------------------------------------------------- trailer
+
+    def seal(self, data: bytes) -> bytes:
+        """Logical page image -> stored physical image (CRC32 trailer)."""
+        if not self.checksums:
+            return bytes(data) + b"\x00" * CRC_TRAILER_SIZE
+        return bytes(data) + _CRC.pack(zlib.crc32(data))
+
+    def _unseal(self, page_id: int, blob: bytes) -> bytes:
+        data = blob[:-CRC_TRAILER_SIZE]
+        if self.checksums:
+            (stored,) = _CRC.unpack(blob[-CRC_TRAILER_SIZE:])
+            if stored != zlib.crc32(data):
+                self.counters.add("disk_read_bad_crc")
+                raise ChecksumError(
+                    f"page {page_id}: stored image fails its CRC32 trailer "
+                    "(torn write or corruption)"
+                )
+        return data
+
+    def _unseal_or_none(self, page_id: int, blob: bytes | None) -> bytes | None:
+        """Opportunistic-read variant: a corrupt neighbor reads as absent."""
+        if blob is None:
+            return None
+        try:
+            return self._unseal(page_id, blob)
+        except ChecksumError:
+            return None
 
     # ------------------------------------------------------------------ single
 
@@ -55,12 +112,12 @@ class Disk:
         """Read one page image (one physical I/O call)."""
         with self._lock:
             try:
-                data = self._pages[page_id]
+                blob = self._pages[page_id]
             except KeyError:
                 raise StorageError(f"page {page_id} was never written") from None
         self.counters.add("disk_io_calls")
         self.counters.add("disk_pages_read")
-        return data
+        return self._unseal(page_id, blob)
 
     def write(self, page_id: int, data: bytes) -> None:
         """Write one page image durably (one physical I/O call)."""
@@ -73,16 +130,21 @@ class Disk:
     def read_run(self, start_page: int, count: int) -> list[bytes | None]:
         """Read ``count`` consecutive pages through large buffers.
 
-        Pages never written come back as ``None`` (the buffer pool treats
-        them as absent).  Costs ``ceil(count / pages_per_io)`` I/O calls.
+        Pages never written — or failing their checksum — come back as
+        ``None`` (the buffer pool treats them as absent; a *required* page
+        is re-read through :meth:`read`, which raises the precise error).
+        Costs ``ceil(count / pages_per_io)`` I/O calls.
         """
         if count <= 0:
             return []
         with self._lock:
-            images = [self._pages.get(start_page + i) for i in range(count)]
+            blobs = [self._pages.get(start_page + i) for i in range(count)]
         self.counters.add("disk_io_calls", _io_calls(count, self.pages_per_io))
         self.counters.add("disk_pages_read", count)
-        return images
+        return [
+            self._unseal_or_none(start_page + i, blob)
+            for i, blob in enumerate(blobs)
+        ]
 
     def write_many(self, items: dict[int, bytes]) -> None:
         """Write a batch of pages, coalescing contiguous ids into large I/Os.
@@ -112,8 +174,14 @@ class Disk:
     # ------------------------------------------------------------------ admin
 
     def exists(self, page_id: int) -> bool:
+        """True when the page has a *valid* stored image.
+
+        A torn/corrupt image reads as absent here, which is what lets
+        recovery's fresh-page redo treat it as never written and rebuild it.
+        """
         with self._lock:
-            return page_id in self._pages
+            blob = self._pages.get(page_id)
+        return self._unseal_or_none(page_id, blob) is not None
 
     def drop(self, page_id: int) -> None:
         """Forget a page image (used when a freed page is re-allocated raw)."""
@@ -123,6 +191,29 @@ class Disk:
     def page_ids(self) -> list[int]:
         with self._lock:
             return sorted(self._pages)
+
+    # ------------------------------------------------------------ fault hooks
+
+    def read_physical(self, page_id: int) -> bytes | None:
+        """Stored physical image (trailer included), without verification."""
+        with self._lock:
+            return self._pages.get(page_id)
+
+    def write_physical(self, page_id: int, blob: bytes) -> None:
+        """Store a physical image verbatim — fault injection only.
+
+        No sealing, no accounting: this is how torn and corrupted images
+        get planted so the normal read path detects them.
+        """
+        if len(blob) != self.page_size + CRC_TRAILER_SIZE:
+            raise StorageError(
+                f"page {page_id}: physical image is {len(blob)} bytes, "
+                f"expected {self.page_size + CRC_TRAILER_SIZE}"
+            )
+        with self._lock:
+            self._pages[page_id] = bytes(blob)
+
+    # -------------------------------------------------------------- internals
 
     def _store(self, page_id: int, data: bytes) -> None:
         with self._lock:
@@ -134,7 +225,7 @@ class Disk:
                 f"page {page_id}: image is {len(data)} bytes, "
                 f"expected {self.page_size}"
             )
-        self._pages[page_id] = bytes(data)
+        self._pages[page_id] = self.seal(data)
 
 
 def _io_calls(pages: int, pages_per_io: int) -> int:

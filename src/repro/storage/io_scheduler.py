@@ -38,14 +38,17 @@ freed on the say-so of a force that did not complete.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
-from repro.errors import IOSchedulerError
+from repro.errors import IOSchedulerError, TransientIOError
 from repro.stats.counters import GLOBAL_COUNTERS, Counters
 from repro.storage.buffer import BufferPool
 from repro.storage.page import NO_PAGE
 
 _FORCE_TIMEOUT = 60.0  # seconds; a stuck writer surfaces as an error, not a hang
+_WRITER_RETRIES = 4  # extra transient retries on top of the pool's own layer
+_WRITER_BACKOFF = 0.002  # seconds, doubled per attempt
 
 
 class CompletionToken:
@@ -283,7 +286,22 @@ class IOScheduler:
         return ordered[:-keep], retain
 
     def _flush(self, ids: list[int]) -> None:
-        self.buffer.flush_pages(ids)
+        # The pool's own retrying() already absorbs transient errors; this
+        # outer loop adds a second, slower layer so a storm that exhausts
+        # the pool's budget degrades to a stalled forcer, not a dead one —
+        # only a persistent failure (or a PermanentIOError) breaks the
+        # writer and fails the barrier tokens.
+        attempt = 0
+        while True:
+            try:
+                self.buffer.flush_pages(ids)
+                break
+            except TransientIOError:
+                attempt += 1
+                if attempt > _WRITER_RETRIES:
+                    raise
+                self.counters.add("writebehind_retries")
+                time.sleep(_WRITER_BACKOFF * (1 << (attempt - 1)))
         shard = self.counters.local_shard()
         shard["writebehind_batches"] += 1
         shard["writebehind_pages"] += len(ids)

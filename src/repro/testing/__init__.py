@@ -1,0 +1,20 @@
+"""Deterministic test harnesses shipped with the library.
+
+:mod:`repro.testing.crashsched` enumerates crash points and injected-fault
+sites in a build → fragment → rebuild-under-OLTP scenario and checks that
+recovery restores the exact logical state after every one of them.
+"""
+
+from repro.testing.crashsched import (
+    CrashScheduleHarness,
+    Schedule,
+    ScheduleOutcome,
+    SweepReport,
+)
+
+__all__ = [
+    "CrashScheduleHarness",
+    "Schedule",
+    "ScheduleOutcome",
+    "SweepReport",
+]

@@ -2,11 +2,19 @@
 
 The in-memory :class:`~repro.wal.log.LogManager` keeps the whole record
 stream in RAM; this subclass additionally appends every *flushed* record to
-a log file (records are self-framing — the header carries the total
-length) and fsyncs at each flush point, so ``flush_to`` really is the
-durability barrier.  Opening an existing file replays its records into the
-in-memory structures with every record already marked durable; crash
-recovery then proceeds exactly as with the in-memory log.
+a log file and fsyncs at each flush point, so ``flush_to`` really is the
+durability barrier.
+
+**Framing.**  Each record goes to the file as ``[u32 length][u32 crc32]``
+followed by the record bytes.  The frame exists only in the file — the
+in-memory record stream and LSN arithmetic are byte-identical to the
+in-memory log, so the paper's Table 1 log-space accounting is unchanged.
+A crash mid-append leaves a torn tail: a short frame, a short record, or
+record bytes whose CRC no longer matches their header.  ``_replay_existing``
+stops at the first such frame and truncates the file there — replay never
+parses garbage, and the next append continues from the last *valid*
+record (ARIES's "end of log" determination, done with checksums instead
+of trust).
 
 Truncation rewrites the file (the retained suffix is small by
 construction — it is what a checkpoint just bounded).
@@ -16,13 +24,19 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 
-from repro.errors import LogFormatError, WALError
+from repro.errors import LogFormatError
 from repro.stats.counters import Counters
 from repro.wal.log import LogManager
 from repro.wal.records import RECORD_OVERHEAD, LogRecord
 
-_LEN_OFFSET = 4  # header layout: magic u16, type u8, flags u8, length u32
+_FRAME = struct.Struct("<II")  # (record length, crc32 of record bytes)
+FRAME_OVERHEAD = _FRAME.size
+
+
+def _frame(data: bytes) -> bytes:
+    return _FRAME.pack(len(data), zlib.crc32(data)) + data
 
 
 class FileLogManager(LogManager):
@@ -37,15 +51,19 @@ class FileLogManager(LogManager):
     # ----------------------------------------------------------------- replay
 
     def _replay_existing(self) -> None:
-        """Load the file's records as the durable in-memory prefix."""
+        """Load the file's records as the durable in-memory prefix,
+        truncating at the first torn or corrupt frame."""
         size = os.fstat(self._fd).st_size
         blob = os.pread(self._fd, size, 0)
         offset = 0
-        while offset + RECORD_OVERHEAD <= len(blob):
-            (length,) = struct.unpack_from("<I", blob, offset + _LEN_OFFSET)
-            if length < RECORD_OVERHEAD or offset + length > len(blob):
-                break  # torn tail from a crash mid-append: discard
-            data = blob[offset : offset + length]
+        while offset + FRAME_OVERHEAD <= len(blob):
+            length, crc = _FRAME.unpack_from(blob, offset)
+            end = offset + FRAME_OVERHEAD + length
+            if length < RECORD_OVERHEAD or end > len(blob):
+                break  # torn tail: frame promises more bytes than exist
+            data = blob[offset + FRAME_OVERHEAD : end]
+            if zlib.crc32(data) != crc:
+                break  # torn/corrupt record bytes: stop before parsing them
             try:
                 record = LogRecord.decode(data)
             except LogFormatError:
@@ -54,20 +72,21 @@ class FileLogManager(LogManager):
             self._offsets.append(record.lsn)
             self.bytes_by_type[record.type] += len(data)
             self.count_by_type[record.type] += 1
-            offset += length
+            offset = end
         if self._records:
             self._next_lsn = self._offsets[-1] + len(self._records[-1])
         self._flushed_upto = len(self._records)
         self._file_size = offset
         if offset != size:
             os.ftruncate(self._fd, offset)  # drop the torn tail
+            self.counters.add("log_torn_tail")
 
     # ------------------------------------------------------------------ flush
 
     def _write_flushed(self, start: int, upto: int) -> None:
         """Append newly durable records to the file and fsync (base-class
         flush paths — immediate and group commit — both land here)."""
-        blob = b"".join(self._records[start:upto])
+        blob = b"".join(_frame(d) for d in self._records[start:upto])
         os.pwrite(self._fd, blob, self._file_size)
         self._file_size += len(blob)
         os.fsync(self._fd)
@@ -78,7 +97,9 @@ class FileLogManager(LogManager):
         with self._lock:
             dropped = super().truncate_before(lsn)
             if dropped:
-                blob = b"".join(self._records[: self._flushed_upto])
+                blob = b"".join(
+                    _frame(d) for d in self._records[: self._flushed_upto]
+                )
                 os.pwrite(self._fd, blob, 0)
                 os.ftruncate(self._fd, len(blob))
                 os.fsync(self._fd)

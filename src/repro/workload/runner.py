@@ -19,7 +19,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.btree.tree import BTree
-from repro.errors import DuplicateKeyError, KeyNotFoundError, LockTimeoutError
+from repro.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    StorageError,
+)
 
 
 @dataclass
@@ -31,6 +36,9 @@ class OltpStats:
     deletes: int = 0
     scans: int = 0
     scan_rows: int = 0
+    faults: int = 0
+    """Operations that failed on an (injected) storage fault; each is also
+    recorded in ``errors`` with the failing op's name."""
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -130,29 +138,46 @@ class MixedWorkload:
                 i = rnd.randrange(1, self.key_count, 2)
                 key = self.keyfn(i)
                 dice = rnd.random()
-                if dice < self.write_fraction / 2:
-                    try:
-                        self.tree.insert(key, i)
-                        inserts += 1
-                    except DuplicateKeyError:
-                        pass
-                elif dice < self.write_fraction:
-                    try:
-                        self.tree.delete(key, i)
-                        deletes += 1
-                    except KeyNotFoundError:
-                        pass
-                else:
-                    hi_ord = min(i + self.scan_width, self.key_count - 1)
-                    hi = self.keyfn(hi_ord)
-                    lo, hi = (key, hi) if key <= hi else (hi, key)
-                    rows = 0
-                    for _ in self.tree.scan(lo=lo, hi=hi):
-                        rows += 1
-                        if rows >= self.scan_width:
-                            break
-                    scans += 1
-                    scan_rows += rows
+                op = (
+                    "insert"
+                    if dice < self.write_fraction / 2
+                    else "delete"
+                    if dice < self.write_fraction
+                    else "scan"
+                )
+                try:
+                    if op == "insert":
+                        try:
+                            self.tree.insert(key, i)
+                            inserts += 1
+                        except DuplicateKeyError:
+                            pass
+                    elif op == "delete":
+                        try:
+                            self.tree.delete(key, i)
+                            deletes += 1
+                        except KeyNotFoundError:
+                            pass
+                    else:
+                        hi_ord = min(i + self.scan_width, self.key_count - 1)
+                        hi = self.keyfn(hi_ord)
+                        lo, hi = (key, hi) if key <= hi else (hi, key)
+                        rows = 0
+                        for _ in self.tree.scan(lo=lo, hi=hi):
+                            rows += 1
+                            if rows >= self.scan_width:
+                                break
+                        scans += 1
+                        scan_rows += rows
+                except StorageError as exc:
+                    # An (injected) I/O fault killed this op: record which
+                    # op failed and keep the worker alive — fault runs stay
+                    # diagnosable instead of threads dying silently.
+                    with self._lock:
+                        self.stats.faults += 1
+                        self.stats.errors.append(
+                            f"{op} ordinal {i}: {type(exc).__name__}: {exc}"
+                        )
         except LockTimeoutError as exc:
             with self._lock:
                 self.stats.errors.append(f"timeout: {exc}")

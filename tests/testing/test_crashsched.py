@@ -1,0 +1,62 @@
+"""Crash-schedule sweep: every syncpoint crash and every injected-fault
+site across build → fragment → rebuild, with recovery verified after each.
+
+The quick test strides through the enumerated schedules so the tier-1 run
+stays fast; the exhaustive sweep (every schedule, plus re-running the
+rebuild to completion after each recovery) is marked ``slow`` and runs in
+the dedicated CI job.  ``REPRO_FAULT_SEED`` gates a randomized smoke test
+whose seed is printed on failure for replay.
+"""
+
+import os
+
+import pytest
+
+from repro.testing import CrashScheduleHarness
+from repro.testing.crashsched import run_random_schedule
+
+
+def _fail_report(report) -> str:
+    lines = [f"{len(report.failures)} schedule(s) failed:"]
+    lines.extend(f"  {failure}" for failure in report.failures)
+    return "\n".join(lines)
+
+
+def test_quick_sweep_strided():
+    harness = CrashScheduleHarness(key_count=2000, seed=11)
+    report = harness.run_sweep(stride=4)
+    assert report.schedules_run > 0
+    assert report.ok, _fail_report(report)
+
+
+@pytest.mark.slow
+def test_exhaustive_sweep_all_schedules():
+    harness = CrashScheduleHarness(key_count=2000, seed=11)
+    report = harness.run_sweep()
+    assert report.schedules_run >= 30, "schedule enumeration shrank"
+    assert report.crashes_simulated > 0
+    assert report.ok, _fail_report(report)
+
+
+@pytest.mark.slow
+def test_exhaustive_sweep_rebuild_finishes_after_recovery():
+    """Recovery is not just consistent — the rebuild is restartable: after
+    every crash schedule, a fresh rebuild runs to completion and verifies."""
+    harness = CrashScheduleHarness(
+        key_count=2000, seed=11, finish_after_recovery=True
+    )
+    report = harness.run_sweep(stride=2)
+    assert report.ok, _fail_report(report)
+
+
+@pytest.mark.skipif(
+    "REPRO_FAULT_SEED" not in os.environ,
+    reason="randomized smoke runs only when REPRO_FAULT_SEED is set",
+)
+def test_randomized_schedule_smoke():
+    seed = int(os.environ["REPRO_FAULT_SEED"])
+    outcome = run_random_schedule(seed)
+    assert outcome.ok, (
+        f"random schedule failed (replay with REPRO_FAULT_SEED={seed}): "
+        f"{outcome.schedule}: {outcome.error}"
+    )

@@ -8,6 +8,8 @@ Usage (see ``docs/performance.md`` for the trajectory workflow)::
     PYTHONPATH=src python benchmarks/run_perf.py --ab 3   # BENCH_PR3.json payload
     PYTHONPATH=src python benchmarks/run_perf.py --faults off      # no CRC trailers
     PYTHONPATH=src python benchmarks/run_perf.py --faults-ab 3  # BENCH_PR4.json payload
+    PYTHONPATH=src python benchmarks/run_perf.py --workers 4    # parallel rebuild
+    PYTHONPATH=src python benchmarks/run_perf.py --workers-ab 3  # BENCH_PR6.json payload
 """
 
 from repro.bench.perf import main

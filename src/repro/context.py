@@ -63,6 +63,7 @@ class EngineContext:
         checksums: bool = True,
         io_retry_limit: int = 12,
         io_retry_backoff: float = 0.0005,
+        io_latency: float = 0.0,
     ) -> "EngineContext":
         """Wire up a fresh engine: disk, pool, log, locks, transactions.
 
@@ -76,6 +77,10 @@ class EngineContext:
         that plan's faults into every physical I/O.  ``io_retry_limit`` /
         ``io_retry_backoff`` tune the buffer pool's transient-error retry
         layer; ``checksums=False`` disables CRC sealing (bench A/B only).
+
+        ``io_latency`` adds a simulated per-physical-call service time to
+        the in-memory disk (see :class:`~repro.storage.disk.Disk`); it is
+        ignored for file-backed stores, whose latency is real.
         """
         counters = counters if counters is not None else Counters()
         if storage_dir is not None:
@@ -101,6 +106,7 @@ class EngineContext:
                 io_size=io_size,
                 counters=counters,
                 checksums=checksums,
+                latency=io_latency,
             )
             log = LogManager(counters=counters)
         if fault_plan is not None:

@@ -57,6 +57,24 @@ class RebuildConfig:
     its duration (None leaves the pool's own limit untouched).  Raising it
     lets a rebuild ride out a transient-error storm that would be
     unreasonable to absorb on user-facing reads."""
+    parallel_workers: int = 1
+    """Partitioned parallel copy phase (:mod:`repro.core.partition`).
+    1 keeps today's serial driver byte-for-byte.  > 1 plans the leaf chain
+    into up to this many disjoint key-range segments and rebuilds them
+    from a pool of worker threads, each running the standard top-action
+    loop under its own transaction.  Only a full rebuild parallelizes;
+    range-restricted and incremental (``max_pages`` / ``resume_after``)
+    runs always use the serial driver."""
+    partition_exact_packing: bool = False
+    """Restrict partition seams to *clean* cut points — leaf boundaries
+    where the serial packing stream would open a fresh target page — so
+    the rebuilt leaf level is byte-identical to a serial rebuild of the
+    same tree.  Clean cuts can be scarce (they depend on how leaf
+    populations align with the fillfactor budget), so the planner may
+    return fewer segments than requested; with the default ``False`` it
+    falls back to the best-balanced ordinary leaf boundaries, which keeps
+    the same logical contents but may leave up to ``segments - 1``
+    partially filled seam pages."""
 
     def __post_init__(self) -> None:
         if self.ntasize < 1:
@@ -84,4 +102,9 @@ class RebuildConfig:
         if self.io_retry_limit is not None and self.io_retry_limit < 0:
             raise RebuildError(
                 f"io_retry_limit must be >= 0, got {self.io_retry_limit}"
+            )
+        if not 1 <= self.parallel_workers <= 64:
+            raise RebuildError(
+                f"parallel_workers must be in [1, 64], got "
+                f"{self.parallel_workers}"
             )

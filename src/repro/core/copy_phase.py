@@ -160,6 +160,9 @@ def copy_multipage(
     deallocated: list[int],
     stop_unit: bytes | None = None,
     prefetch_hint: "Callable[[int, int], None] | None" = None,
+    stop_before: bytes | None = None,
+    fill_pp: bool = True,
+    pp_busy_wait: "Callable[[], bool] | None" = None,
 ) -> CopyResult:
     """Run the copy phase for the run of leaves starting at ``p1_id``.
 
@@ -173,17 +176,35 @@ def copy_multipage(
     current run's source pages have been read, *before* the CPU-heavy
     planning and apply work.  The I/O scheduler's reader uses the hint to
     pull the next run into the buffer pool while this one is being copied.
+
+    The three remaining knobs serve the partitioned parallel rebuild:
+
+    * ``stop_before`` is an *exclusive* bound — the run never extends onto
+      a leaf whose first unit is >= it (a worker must not cross its
+      partition seam).  Unlike ``stop_unit`` it is checked by *peeking*
+      the next leaf's first unit under a plain S latch, without locking or
+      bitting it: the leaf may be the right-hand neighbor's P1.
+    * ``fill_pp=False`` leaves PP's content untouched (budget 0) — a
+      worker starting mid-chain must not pack keys into a page the
+      left-hand worker owns the packing of.  PP is still locked, bitted,
+      and relinked as usual.
+    * ``pp_busy_wait()`` runs when PP is held by another top action,
+      *before* the default blocking instant-lock wait; returning True
+      means "I waited on the seam-handoff token, retry now", False falls
+      through to the instant lock.  This keeps a worker whose PP is the
+      left neighbor's last source page from blocking inside the lock
+      manager while the neighbor runs an entire top action.
     """
     source_bit = (
         PageFlag.SPLIT if config.split_then_shrink else PageFlag.SHRINK
     )
     large_io = config.use_large_io
     pp_id, p1_id = _lock_pp_and_p1(
-        ctx, txn, p1_id, cleanup, source_bit, large_io
+        ctx, txn, p1_id, cleanup, source_bit, large_io, pp_busy_wait
     )
     old_ids = _extend_run(
         ctx, txn, p1_id, config.ntasize, cleanup, source_bit, large_io,
-        stop_unit,
+        stop_unit, stop_before,
     )
     ctx.syncpoints.fire(
         "rebuild.copy_locked", pp=pp_id, sources=list(old_ids)
@@ -209,10 +230,11 @@ def copy_multipage(
         pp = ctx.get_latched(pp_id, LatchMode.S)
         pp_low_unit = pp.rows[0] if pp.rows else None
         pp_last_unit = pp.rows[-1] if pp.rows else None
-        budget = max(1, int(config.fillfactor * capacity))
-        pp_free_budget = max(0, budget - (pp.used_bytes - HEADER_SIZE))
-        # Never overflow the physical page whatever the fillfactor says.
-        pp_free_budget = min(pp_free_budget, pp.free_bytes)
+        if fill_pp:
+            budget = max(1, int(config.fillfactor * capacity))
+            pp_free_budget = max(0, budget - (pp.used_bytes - HEADER_SIZE))
+            # Never overflow the physical page whatever the fillfactor says.
+            pp_free_budget = min(pp_free_budget, pp.free_bytes)
         ctx.release_page(pp_id)
 
     targets, allocs_per_source = plan_copy(
@@ -322,8 +344,14 @@ def _lock_pp_and_p1(
     cleanup: list[int],
     source_bit: PageFlag,
     large_io: bool = False,
+    pp_busy_wait: "Callable[[], bool] | None" = None,
 ) -> tuple[int, int]:
-    """Lock PP then P1, waiting (after releasing everything) when busy."""
+    """Lock PP then P1, waiting (after releasing everything) when busy.
+
+    A busy PP first consults ``pp_busy_wait`` when given (the parallel
+    seam-handoff wait); only when it declines does the default §6.5
+    instant-lock wait run.
+    """
     while True:
         if not ctx.page_manager.is_allocated(p1_id):
             raise PositionLost(f"leaf {p1_id} is gone")
@@ -336,9 +364,10 @@ def _lock_pp_and_p1(
 
         if pp_id != NO_PAGE:
             if not _acquire_page(ctx, txn, pp_id, PageFlag.SHRINK, large_io):
-                ctx.locks.wait_instant(
-                    txn.txn_id, LockSpace.ADDRESS, pp_id, LockMode.S
-                )
+                if pp_busy_wait is None or not pp_busy_wait():
+                    ctx.locks.wait_instant(
+                        txn.txn_id, LockSpace.ADDRESS, pp_id, LockMode.S
+                    )
                 continue
             # Revalidate the chain under the lock.
             pp = ctx.get_latched(pp_id, LatchMode.S)
@@ -380,9 +409,12 @@ def _extend_run(
     source_bit: PageFlag,
     large_io: bool = False,
     stop_unit: bytes | None = None,
+    stop_before: bytes | None = None,
 ) -> list[int]:
     """Lock P2..Pn along the chain; stop (don't wait) at the first busy
-    one, and never extend past the leaf containing ``stop_unit``."""
+    one, never extend past the leaf containing ``stop_unit``, and never
+    *onto* a leaf whose first unit is >= ``stop_before`` (the exclusive
+    partition-seam bound)."""
     run = [p1_id]
     current = p1_id
     while len(run) < ntasize:
@@ -396,12 +428,45 @@ def _extend_run(
         ctx.release_page(current)
         if past_range or next_id == NO_PAGE:
             break
+        if stop_before is not None and not _starts_below(
+            ctx, next_id, stop_before, large_io
+        ):
+            break
         if not _acquire_page(ctx, txn, next_id, source_bit, large_io):
             break  # §4.1.1: rebuild does not wait for P_i, i > 1
         cleanup.append(next_id)
         run.append(next_id)
         current = next_id
     return run
+
+
+def _starts_below(
+    ctx: EngineContext,
+    page_id: int,
+    stop_before: bytes,
+    large_io: bool = False,
+) -> bool:
+    """Peek whether a leaf's first unit is below the seam bound.
+
+    A plain S latch only — no lock, no bit: the page may be the
+    right-hand worker's P1, and conditionally acquiring it just to look
+    would create transient seam-bit collisions.  The peek uses the same
+    large-I/O fetch path as the copy itself: a single-page cold read here
+    would both fragment the device stream and leave the page resident,
+    defeating the aligned run read the copy would otherwise issue.  A
+    page that vanished or cannot be peeked reads as "not below" (the run
+    simply ends; the driver's next discovery sorts it out).
+    """
+    if not ctx.page_manager.is_allocated(page_id):
+        return False
+    try:
+        page = ctx.get_latched(page_id, LatchMode.S, large_io=large_io)
+    except Exception:
+        return False
+    try:
+        return page.nrows > 0 and page.rows[0] < stop_before
+    finally:
+        ctx.release_page(page_id)
 
 
 def _release_one(ctx: EngineContext, txn: Transaction, page_id: int) -> None:

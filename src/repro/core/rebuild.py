@@ -23,9 +23,37 @@ Position tracking is by key, not by page: after each top action the
 highest copied unit is remembered, and the next top action re-discovers
 the first leaf holding anything greater.  This makes the rebuild immune to
 concurrent splits and shrinks rearranging the chain between top actions.
+
+**Parallel partitioned mode** (``parallel_workers > 1``): a planner walk
+(:mod:`repro.core.partition`) cuts the chain into disjoint key-range
+segments; a pool of worker threads then runs this same driver loop, one
+worker per segment, each under its own transactions, all sharing the one
+I/O scheduler.  Safety needs nothing new — address locks, SPLIT/SHRINK
+bits and the §3 flush-then-free ordering already make top actions on
+disjoint ranges independent; the only coordination is at partition seams:
+
+* a worker's copy run never crosses its ``stop_before`` bound (checked by
+  peeking, not locking — see :func:`~repro.core.copy_phase._extend_run`);
+* the worker *owning* the left seam page finishes the boundary top action;
+  its right-hand neighbor, finding its PP busy, waits on the owner's
+  :class:`~repro.storage.io_scheduler.CompletionToken` instead of camping
+  in the lock manager;
+* each non-leftmost worker leaves its first PP's content untouched
+  (``fill_pp=False``) so seam pages have exactly one packer.
+
+Cross-worker propagation cannot deadlock: within a top action levels are
+processed strictly bottom-up and, within a level, groups left-to-right, so
+two neighbors can contend only on a single seam parent per level — a
+one-resource wait, never a cycle (and the §5.5 left-sibling redirection is
+strictly conditional).  A worker hitting a :class:`CrashPoint` (simulated
+power failure) stops the whole pool without any cleanup, exactly like the
+serial driver; an ordinary failure aborts that worker's transaction under
+§4.1.3 while the others finish their current transaction and stop.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass, field
 
@@ -41,10 +69,11 @@ from repro.concurrency.txn import Transaction
 from repro.context import EngineContext
 from repro.core.config import RebuildConfig
 from repro.core.copy_phase import PositionLost, copy_multipage
+from repro.core.partition import PartitionSegment, plan_partitions
 from repro.core.propagation import PropagationState, run_propagation
 from repro.errors import RebuildAbortedError, RebuildError
 from repro.stats.counters import Timer
-from repro.storage.io_scheduler import IOScheduler
+from repro.storage.io_scheduler import CompletionToken, IOScheduler
 from repro.storage.page import NO_PAGE, PageFlag
 from repro.storage.page_manager import ChunkAllocator, PageState
 from repro.wal.records import RecordType
@@ -72,6 +101,44 @@ class RebuildReport:
     ``max_pages`` slice ended early), pass this as ``resume_after`` to the
     next ``run`` call to continue where this slice stopped — the §7
     "incremental reorganization" mode that sidefile schemes cannot do."""
+    parallel_workers: int = 1
+    """Worker threads the run actually used (1 = serial driver)."""
+    partition_segments: int = 0
+    """Segments the planner produced when the parallel driver ran."""
+    partition_clean_cuts: int = 0
+    """How many of the chosen seams were packing-exact (see
+    :mod:`repro.core.partition`)."""
+    worker_reports: list["RebuildReport"] = field(default_factory=list)
+    """Per-worker sub-reports (parallel runs only); the top-level counts
+    above are their sums."""
+
+
+class _PoolState:
+    """Shared stop/failure state of one parallel rebuild's worker pool.
+
+    ``stop`` tells every worker to wind down at its next top-action
+    boundary.  The first crash (simulated power failure) or error to be
+    recorded wins; later ones are dropped — exactly like the serial
+    driver, where only one failure can happen.
+    """
+
+    def __init__(self) -> None:
+        self.stop = threading.Event()
+        self.crash: CrashPoint | None = None
+        self.error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    def record_crash(self, exc: CrashPoint) -> None:
+        with self._lock:
+            if self.crash is None:
+                self.crash = exc
+        self.stop.set()
+
+    def record_error(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = exc
+        self.stop.set()
 
 
 class OnlineRebuild:
@@ -105,6 +172,11 @@ class OnlineRebuild:
           ``resume_unit``;
         * ``resume_after`` — a previous report's ``resume_unit``;
           continues from its successor.
+
+        ``config.parallel_workers > 1`` engages the partitioned parallel
+        driver — for *full* rebuilds only.  Any of the restrictions above
+        forces the serial driver (a restricted range is one segment
+        already, and slice accounting is inherently sequential).
         """
         tree, ctx, config = self.tree, self.ctx, self.config
         if getattr(tree, "_rebuild_active", False):
@@ -126,6 +198,9 @@ class OnlineRebuild:
             K.search_ceiling(end_key) if end_key is not None else None
         )
         self._max_pages = max_pages
+        use_parallel = config.parallel_workers > 1 and all(
+            v is None for v in (start_key, end_key, max_pages, resume_after)
+        )
         tree._rebuild_active = True  # type: ignore[attr-defined]
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
         traversal = Traversal(ctx, tree)
@@ -137,10 +212,13 @@ class OnlineRebuild:
         # through a background writer and read-ahead through a background
         # reader; a nonzero group_commit_window lets the rebuild's commits
         # (and any concurrent user commits) share physical log flushes.
+        # The parallel driver scales the read-ahead depth by the worker
+        # count so each worker keeps its own prefetch window.
         if config.pipeline_depth > 0:
             self._scheduler = IOScheduler(
                 ctx.buffer, counters=ctx.counters,
-                depth=config.pipeline_depth,
+                depth=config.pipeline_depth
+                * (config.parallel_workers if use_parallel else 1),
             ).start()
         saved_window = ctx.log.group_commit_window
         if config.group_commit_window > 0.0:
@@ -150,7 +228,10 @@ class OnlineRebuild:
             ctx.buffer.retry_limit = config.io_retry_limit
         try:
             with timer:
-                self._drive(chunk_alloc, traversal, report)
+                if use_parallel:
+                    self._drive_parallel(chunk_alloc, traversal, report)
+                else:
+                    self._drive(chunk_alloc, traversal, report)
         finally:
             if self._scheduler is not None:
                 self._scheduler.close()
@@ -175,9 +256,28 @@ class OnlineRebuild:
         chunk_alloc: ChunkAllocator,
         traversal: Traversal,
         report: RebuildReport,
+        start_probe: bytes | None = None,
+        stop_before: bytes | None = None,
+        fill_pp_first: bool = True,
+        seam_token: CompletionToken | None = None,
+        pool: "_PoolState | None" = None,
     ) -> None:
+        """The transaction loop; serial callers use only the first three
+        arguments (and get today's behavior unchanged).  The parallel
+        driver runs one ``_drive`` per worker with:
+
+        * ``start_probe`` / ``stop_before`` — the worker's segment bounds;
+        * ``fill_pp_first=False`` — the first top action leaves its PP's
+          content to the left-hand neighbor's packing;
+        * ``seam_token`` — the left neighbor's completion token, waited on
+          (briefly, repeatedly) when the seam PP is busy;
+        * ``pool`` — the shared stop/crash state of the worker pool.
+        """
         ctx, config = self.ctx, self.config
-        probe: bytes | None = self._start_unit
+        probe: bytes | None = (
+            start_probe if start_probe is not None else self._start_unit
+        )
+        filled_one = fill_pp_first
         done = False
         while not done:
             txn = ctx.txns.begin()
@@ -185,6 +285,14 @@ class OnlineRebuild:
             pages_this_txn = 0
             try:
                 while pages_this_txn < config.xactsize and not done:
+                    if pool is not None and pool.stop.is_set():
+                        if pool.crash is not None:
+                            # A peer hit a simulated power failure: this
+                            # worker's power is out too — no cleanup.
+                            raise CrashPoint(pool.crash.name)
+                        report.completed = False
+                        done = True
+                        break
                     if (
                         self._max_pages is not None
                         and report.leaf_pages_rebuilt >= self._max_pages
@@ -192,16 +300,28 @@ class OnlineRebuild:
                         report.completed = False
                         done = True
                         break
-                    p1 = self._discover_position(txn, probe)
+                    p1 = self._discover_position(txn, probe, stop_before)
                     if p1 is None:
                         done = True
                         break
                     outcome = self._one_top_action(
                         txn, chunk_alloc, traversal, p1, txn_new_pages,
                         report,
+                        stop_before=stop_before,
+                        fill_pp=filled_one,
+                        pp_busy_wait=(
+                            # Only the seam top action (the worker's first)
+                            # can find its PP held by the left neighbor;
+                            # afterwards PP is this worker's own page and
+                            # the default instant-lock wait applies.
+                            self._seam_wait(seam_token, pool)
+                            if not filled_one
+                            else None
+                        ),
                     )
                     if outcome is None:
                         continue  # position lost; rediscover and retry
+                    filled_one = True
                     resume_unit, reached_end, rebuilt = outcome
                     report.resume_unit = resume_unit
                     probe = resume_unit + b"\x00"
@@ -248,6 +368,176 @@ class OnlineRebuild:
                 "rebuild.txn_committed", pages=pages_this_txn
             )
 
+    # --------------------------------------------------------------- parallel
+
+    def _drive_parallel(
+        self,
+        chunk_alloc: ChunkAllocator,
+        traversal: Traversal,
+        report: RebuildReport,
+    ) -> None:
+        """Partitioned parallel driver (full rebuilds only).
+
+        Plans disjoint key-range segments over one walk of the leaf chain,
+        then runs one ``_drive`` loop per segment on its own thread, each
+        under its own transactions.  Falls back to the serial driver when
+        the planner cannot produce more than one segment (tiny index, or
+        the best-effort walk ended early under concurrent traffic).
+        """
+        ctx, config = self.ctx, self.config
+        txn = ctx.txns.begin()
+        try:
+            first = self._leftmost_leaf(txn)
+        finally:
+            ctx.txns.commit(txn)
+        if first == self.tree.root_page_id:
+            report.parallel_workers = 1
+            return  # single-leaf tree: nothing to relocate
+        scheduler = self._scheduler
+        plan = plan_partitions(
+            ctx, self.tree, config, first, config.parallel_workers,
+            prefetch_hint=(
+                scheduler.prefetch_chain if scheduler is not None else None
+            ),
+        )
+        ctx.syncpoints.fire(
+            "rebuild.partition.planned",
+            segments=len(plan.segments),
+            clean_cuts=plan.clean_cuts,
+            leaves=plan.leaves_walked,
+        )
+        if len(plan.segments) <= 1:
+            report.parallel_workers = 1
+            self._drive(chunk_alloc, traversal, report)
+            return
+        nseg = len(plan.segments)
+        ctx.counters.add("partition_segments", nseg)
+        ctx.counters.add("partition_clean_cuts", plan.clean_cuts)
+        report.parallel_workers = nseg
+        report.partition_segments = nseg
+        report.partition_clean_cuts = plan.clean_cuts
+        tokens = [CompletionToken() for _ in plan.segments]
+        pool = _PoolState()
+        reports = [RebuildReport() for _ in plan.segments]
+        threads = [
+            threading.Thread(
+                target=self._worker_main,
+                args=(i, seg, tokens, pool, reports[i]),
+                name=f"rebuild-worker-{i}",
+                daemon=True,
+            )
+            for i, seg in enumerate(plan.segments)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for sub in reports:
+            report.leaf_pages_rebuilt += sub.leaf_pages_rebuilt
+            report.new_leaf_pages += sub.new_leaf_pages
+            report.transactions += sub.transactions
+            report.top_actions += sub.top_actions
+            report.pages_freed += sub.pages_freed
+            report.aborted = report.aborted or sub.aborted
+            report.completed = report.completed and sub.completed
+            if sub.resume_unit is not None and (
+                report.resume_unit is None
+                or sub.resume_unit > report.resume_unit
+            ):
+                report.resume_unit = sub.resume_unit
+        report.worker_reports = reports
+        ctx.syncpoints.fire(
+            "rebuild.partition.merged",
+            completed=report.completed,
+            aborted=report.aborted,
+        )
+        if pool.crash is not None:
+            raise pool.crash
+        if pool.error is not None:
+            if isinstance(pool.error, RebuildAbortedError):
+                raise pool.error
+            raise RebuildAbortedError(
+                f"online rebuild aborted: {pool.error}"
+            ) from pool.error
+
+    def _worker_main(
+        self,
+        ordinal: int,
+        seg: PartitionSegment,
+        tokens: list[CompletionToken],
+        pool: _PoolState,
+        report: RebuildReport,
+    ) -> None:
+        """Body of one rebuild worker thread (segment ``ordinal``)."""
+        ctx, config = self.ctx, self.config
+        chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
+        traversal = Traversal(ctx, self.tree)
+        left_token = tokens[ordinal - 1] if ordinal > 0 else None
+        try:
+            ctx.syncpoints.fire(
+                "rebuild.partition.worker_start",
+                worker=ordinal,
+                clean_start=seg.clean_start,
+            )
+            self._drive(
+                chunk_alloc, traversal, report,
+                start_probe=seg.start_unit,
+                stop_before=seg.stop_before,
+                # The leftmost worker owns its first PP outright; every
+                # other worker's first PP is the left neighbor's seam page.
+                fill_pp_first=(ordinal == 0),
+                seam_token=left_token,
+                pool=pool,
+            )
+            ctx.syncpoints.fire(
+                "rebuild.partition.worker_done", worker=ordinal
+            )
+        except CrashPoint as exc:
+            # Simulated power failure: like the serial driver, no runtime
+            # cleanup at all — peers see it via the pool and "lose power"
+            # at their next top-action boundary.
+            pool.record_crash(exc)
+        except BaseException as exc:  # noqa: BLE001 - thread boundary
+            pool.record_error(exc)
+        finally:
+            # The right-hand neighbor may be waiting on this token;
+            # complete it on *every* exit (a failed worker released its
+            # locks during abort, and a crashed one stops the pool).
+            tokens[ordinal].complete()
+            try:
+                ctx.syncpoints.fire(
+                    "rebuild.partition.seam_released", worker=ordinal
+                )
+            except CrashPoint as exc:
+                pool.record_crash(exc)
+            except BaseException:  # noqa: BLE001 - thread boundary
+                pass
+            chunk_alloc.close()
+
+    def _seam_wait(
+        self,
+        token: CompletionToken | None,
+        pool: _PoolState | None,
+    ):
+        """Build the ``pp_busy_wait`` callable for a worker's seam top
+        action: while the left neighbor still owns the seam PP, wait on
+        its completion token (briefly, re-checking for a pool stop)
+        instead of camping in the lock manager's instant-wait loop."""
+        ctx = self.ctx
+
+        def busy_wait() -> bool:
+            if pool is not None and pool.crash is not None:
+                raise CrashPoint(pool.crash.name)
+            if token is None or token.done:
+                # Left neighbor finished (or aborted and released its
+                # locks): the ordinary instant-lock wait takes over.
+                return False
+            ctx.counters.add("partition_seam_waits")
+            token.wait_done(0.05)
+            return True
+
+        return busy_wait
+
     def _one_top_action(
         self,
         txn: Transaction,
@@ -256,11 +546,16 @@ class OnlineRebuild:
         p1: int,
         txn_new_pages: list[int],
         report: RebuildReport,
+        stop_before: bytes | None = None,
+        fill_pp: bool = True,
+        pp_busy_wait=None,
     ) -> tuple[bytes, bool, int] | None:
         """Run one multipage rebuild top action starting at leaf ``p1``.
 
         Returns (resume_unit, reached_end, pages_rebuilt), or None when the
         position was lost before any work was logged (caller rediscovers).
+        The last three arguments are the parallel seam knobs, passed
+        through to :func:`copy_multipage`.
         """
         ctx, config, tree = self.ctx, self.config, self.tree
         cleanup: list[int] = []
@@ -275,6 +570,9 @@ class OnlineRebuild:
                 prefetch_hint=(
                     scheduler.prefetch_chain if scheduler is not None else None
                 ),
+                stop_before=stop_before,
+                fill_pp=fill_pp,
+                pp_busy_wait=pp_busy_wait,
             )
             nta_new_pages.extend(result.new_pages)
             state = PropagationState(
@@ -317,11 +615,16 @@ class OnlineRebuild:
     # -------------------------------------------------------------- position
 
     def _discover_position(
-        self, txn: Transaction, probe: bytes | None
+        self,
+        txn: Transaction,
+        probe: bytes | None,
+        stop_before: bytes | None = None,
     ) -> int | None:
         """Find the leaf holding the first unit >= ``probe`` (or the
-        leftmost leaf when ``probe`` is None); None when past the end or
-        past the requested range.
+        leftmost leaf when ``probe`` is None); None when past the end,
+        past the requested range, or at/past the partition seam
+        (``stop_before``, exclusive — a leaf whose first unit reaches it
+        belongs to the right-hand worker).
 
         Position tracking is by key, never by page id, which makes the
         rebuild immune to concurrent splits/shrinks between top actions
@@ -342,10 +645,13 @@ class OnlineRebuild:
         pos, _found = node.leaf_search(leaf, probe, ctx.counters)
         if pos < leaf.nrows:
             low = leaf.rows[pos]
+            first = leaf.rows[0]
             leaf_id = leaf.page_id
             ctx.release_page(leaf_id)
             if self._end_unit is not None and low > self._end_unit:
                 return None  # the remaining leaves are past the range
+            if stop_before is not None and first >= stop_before:
+                return None  # the segment is finished
             if leaf_id == tree.root_page_id:
                 return None  # single-leaf tree: nothing to relocate
             return leaf_id
@@ -353,13 +659,21 @@ class OnlineRebuild:
         ctx.release_page(leaf.page_id)
         if next_id == NO_PAGE:
             return None
-        nxt = ctx.get_latched(next_id, LatchMode.S)
+        nxt = ctx.get_latched(
+            next_id, LatchMode.S, large_io=self.config.use_large_io
+        )
         low = nxt.rows[0] if nxt.rows else None
         ctx.release_page(next_id)
         if (
             self._end_unit is not None
             and low is not None
             and low > self._end_unit
+        ):
+            return None
+        if (
+            stop_before is not None
+            and low is not None
+            and low >= stop_before
         ):
             return None
         return next_id

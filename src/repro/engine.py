@@ -42,6 +42,7 @@ class Engine:
         checksums: bool = True,
         io_retry_limit: int = 12,
         io_retry_backoff: float = 0.0005,
+        io_latency: float = 0.0,
     ) -> None:
         self.ctx = EngineContext.create(
             page_size=page_size,
@@ -55,6 +56,7 @@ class Engine:
             checksums=checksums,
             io_retry_limit=io_retry_limit,
             io_retry_backoff=io_retry_backoff,
+            io_latency=io_latency,
         )
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows

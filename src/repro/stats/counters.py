@@ -52,6 +52,7 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "prefetch_admitted",   # pages cached speculatively (run neighbors, read-ahead)
     "prefetch_hits",       # fetches satisfied by a speculatively cached page
     "prefetch_unused",     # prefetched pages evicted before anyone fetched them
+    "prefetch_skipped_resident",  # read-ahead hints dropped: page already cached
     # Write-behind forcing (io_scheduler).
     "writebehind_batches", # physical flush batches issued by the background forcer
     "writebehind_pages",   # pages pushed through the forcer
@@ -73,6 +74,11 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "rebuild_transactions",
     "leaf_pages_rebuilt",
     "new_pages_allocated",
+    # Partitioned parallel rebuild (core/partition.py, core/rebuild.py).
+    "partition_planner_leaves",  # leaves walked by the partition planner
+    "partition_segments",        # segments actually launched (> 1 = parallel)
+    "partition_clean_cuts",      # seams placed on packing-exact boundaries
+    "partition_seam_waits",      # waits on a left neighbor's completion token
 )
 
 _FIELD_SET = frozenset(COUNTER_FIELDS)

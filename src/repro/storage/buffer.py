@@ -19,6 +19,26 @@ buffer-pool reads of the old index.
 A simulated **crash** (:meth:`crash`) discards every frame without writing —
 the disk keeps only what was explicitly flushed, which is what recovery
 tests exercise.
+
+**I/O concurrency.**  The pool lock protects the frame table, but is
+*released* around every physical disk call on the common paths (miss
+reads, aligned-run reads, prefetch reads, batch flushes), so threads
+overlap their disk time instead of serializing on the pool — the property
+the partitioned parallel rebuild (and its simulated-latency A/B) depends
+on.  Two pieces of bookkeeping make that safe:
+
+* an *in-flight read table* — a miss registers the page id before
+  dropping the lock; a second fetch of the same page waits on the pool's
+  condition variable instead of issuing a duplicate read, and every
+  admission point re-checks residency after reacquiring the lock;
+* a per-frame *version counter*, bumped whenever a frame becomes dirty —
+  a batch flush snapshots (frame, version) pairs, writes without the
+  lock, and clears the dirty bit only for frames still resident at the
+  same version, so a change that lands mid-flush is never lost.
+
+Dirty *evictions* still write under the lock: they are rare once the
+write-behind forcer is on, and keeping them serialized avoids a second
+in-flight table for writes.
 """
 
 from __future__ import annotations
@@ -35,7 +55,7 @@ from repro.storage.page import Page
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count", "prefetched")
+    __slots__ = ("page", "dirty", "pin_count", "prefetched", "version")
 
     def __init__(self, page: Page) -> None:
         self.page = page
@@ -44,6 +64,9 @@ class _Frame:
         # Admitted speculatively (run neighbor or read-ahead) and not yet
         # fetched: the first fetch counts a prefetch hit and clears it.
         self.prefetched = False
+        # Bumped on every dirtying; lets an unlocked flush detect that the
+        # frame changed mid-write and must stay dirty.
+        self.version = 0
 
 
 class BufferPool:
@@ -76,6 +99,17 @@ class BufferPool:
         # Plain Lock: no public method re-enters another (flush_all uses
         # the shared locked helper), and Lock beats RLock on the fast path.
         self._lock = threading.Lock()
+        # Page ids with a disk read in progress (lock released); fetches of
+        # the same page wait here instead of duplicating the read.
+        self._inflight: set[int] = set()
+        # Page ids with an unlocked batch *write* in progress.  A second
+        # flush (or an eviction write) of an overlapping page waits for it:
+        # otherwise a slower writer holding an older image could land on
+        # disk after a newer one.  Pages in here are always resident (the
+        # flush keeps the frame; evictions wait), so read paths never see
+        # a half-updated disk image either.
+        self._writing: set[int] = set()
+        self._cond = threading.Condition(self._lock)
         self._wal_hook: Callable[[int], None] | None = None
 
     def set_wal_hook(self, hook: Callable[[int], None]) -> None:
@@ -112,27 +146,59 @@ class BufferPool:
 
     # ------------------------------------------------------------------ fetch
 
+    def _io_unlocked(self, fn: Callable[[], object]):  # noqa: ANN201
+        """Run a (retried) disk call with the pool lock released.
+
+        Must be called with the lock held; the lock is reacquired before
+        returning or raising, so callers resume with their invariants —
+        except frame-table contents, which they must re-check.
+        """
+        self._lock.release()
+        try:
+            return self.retrying(fn)
+        finally:
+            self._lock.acquire()
+
     def fetch(self, page_id: int, large_io: bool = False) -> Page:
         """Pin and return the page, reading it from disk on a miss.
 
         With ``large_io`` a miss reads the io-size-aligned run containing
         ``page_id`` in one physical call and caches (unpinned) every page of
-        the run that exists on disk.
+        the run that exists on disk.  Miss reads run with the pool lock
+        released; a concurrent fetch of the same page waits for the first
+        read instead of duplicating it.
         """
         with self._lock:
             self.counters.add("page_reads")
             frames = self._frames
-            frame = frames.get(page_id)
-            if frame is None:
-                if large_io and self.disk.pages_per_io > 1:
-                    self._read_aligned_run(page_id)
-                    frame = frames.get(page_id)
-                if frame is None:
-                    frame = self._admit(Page.from_bytes(
-                        self.retrying(lambda: self.disk.read(page_id)),
-                        self.disk.page_size,
-                    ))
-            elif frame.prefetched:
+            while True:
+                frame = frames.get(page_id)
+                if frame is not None:
+                    break
+                if page_id in self._inflight:
+                    self._cond.wait()
+                    continue
+                self._inflight.add(page_id)
+                try:
+                    if large_io and self.disk.pages_per_io > 1:
+                        self._read_aligned_run(page_id)
+                        frame = frames.get(page_id)
+                    if frame is None:
+                        image = self._io_unlocked(
+                            lambda: self.disk.read(page_id)
+                        )
+                        # The lock was released: a prefetch or run read may
+                        # have admitted the page meanwhile.
+                        frame = frames.get(page_id)
+                        if frame is None:
+                            frame = self._admit(
+                                Page.from_bytes(image, self.disk.page_size)
+                            )
+                finally:
+                    self._inflight.discard(page_id)
+                    self._cond.notify_all()
+                break
+            if frame.prefetched:
                 self.counters.add("prefetch_hits")
             frame.prefetched = False
             frame.pin_count += 1
@@ -156,10 +222,11 @@ class BufferPool:
                         f"page {page_id} is pinned; cannot reallocate"
                     )
                 self._write_frame(page_id, stale)
-                del self._frames[page_id]
+                self._frames.pop(page_id, None)
             frame = self._admit(Page(page_id, self.disk.page_size))
             frame.pin_count += 1
             frame.dirty = True
+            frame.version += 1
             return frame.page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
@@ -170,6 +237,7 @@ class BufferPool:
             frame.pin_count -= 1
             if dirty:
                 frame.dirty = True
+                frame.version += 1
 
     def mark_dirty(self, page_id: int) -> None:
         with self._lock:
@@ -177,6 +245,7 @@ class BufferPool:
             if frame is None:
                 raise BufferError_(f"page {page_id} is not resident")
             frame.dirty = True
+            frame.version += 1
 
     def is_resident(self, page_id: int) -> bool:
         with self._lock:
@@ -208,31 +277,49 @@ class BufferPool:
             self._flush_pages_locked(page_ids)
 
     def _flush_pages_locked(self, page_ids: list[int]) -> None:
-        # Pass 1 — bookkeeping only: find the dirty frames.  Clean
-        # frames are never serialized.
-        dirty_frames: dict[int, _Frame] = {}
+        # Wait out any in-flight write overlapping this batch, so batch
+        # writes of the same page are ordered and dirty-clearing is sound.
+        while not self._writing.isdisjoint(page_ids):
+            self._cond.wait()
+        # Pass 1 — bookkeeping only: find the dirty frames, remembering
+        # each frame's version.  Clean frames are never serialized.
+        dirty_frames: dict[int, tuple[_Frame, int]] = {}
         for pid in page_ids:
             frame = self._frames.get(pid)
             if frame is not None and frame.dirty:
-                dirty_frames.setdefault(pid, frame)
+                dirty_frames.setdefault(pid, (frame, frame.version))
         if not dirty_frames:
             return
-        # Pass 2 — serialize the batch in one go, WAL-first, then
-        # write and mark clean.  Each dirty frame is written exactly
-        # once even if its id repeats in ``page_ids``.
+        # Pass 2 — serialize the batch in one go, then WAL-flush and
+        # write with the pool lock *released* (both can block on physical
+        # I/O).  Each dirty frame is written exactly once even if its id
+        # repeats in ``page_ids``.
         images = {
             pid: frame.page.to_bytes()
-            for pid, frame in dirty_frames.items()
+            for pid, (frame, _) in dirty_frames.items()
         }
         max_lsn = max(
-            frame.page.page_lsn for frame in dirty_frames.values()
+            frame.page.page_lsn for frame, _ in dirty_frames.values()
         )
-        if self._wal_hook is not None:
-            self._wal_hook(max_lsn)
-        self.retrying(lambda: self.disk.write_many(images))
+
+        def _wal_then_write() -> None:
+            if self._wal_hook is not None:
+                self._wal_hook(max_lsn)
+            self.disk.write_many(images)
+
+        self._writing.update(dirty_frames)
+        try:
+            self._io_unlocked(_wal_then_write)
+        finally:
+            self._writing.difference_update(dirty_frames)
+            self._cond.notify_all()
         self.counters.add("page_writes", len(images))
-        for frame in dirty_frames.values():
-            frame.dirty = False
+        # Pass 3 — clear dirty only for frames still resident at the
+        # version we serialized; anything redirtied (or evicted and
+        # re-read) mid-write keeps its state.
+        for pid, (frame, version) in dirty_frames.items():
+            if self._frames.get(pid) is frame and frame.version == version:
+                frame.dirty = False
 
     def flush_all(self) -> None:
         """Force every dirty resident page (checkpoint / clean shutdown)."""
@@ -251,6 +338,9 @@ class BufferPool:
         """Simulate a crash: lose every frame, flush nothing."""
         with self._lock:
             self._frames.clear()
+            self._inflight.clear()
+            self._writing.clear()
+            self._cond.notify_all()
 
     # --------------------------------------------------------------- internals
 
@@ -277,29 +367,44 @@ class BufferPool:
 
         Walks from the LRU end past any pinned frames — O(pinned prefix),
         O(1) in the common case.  Returns False (or raises, when
-        ``required``) if every frame is pinned.
+        ``required``) if every frame is pinned.  A dirty victim's write may
+        wait for an in-flight batch flush of the same page; the wait drops
+        the pool lock, so the victim is revalidated afterwards.
         """
-        victim_id = None
-        for pid, frame in self._frames.items():
-            if frame.pin_count == 0:
-                victim_id = pid
-                break
-        if victim_id is None:
-            if required:
-                raise BufferError_(
-                    f"buffer pool exhausted: all {self.capacity} frames pinned"
-                )
-            return False
-        frame = self._frames[victim_id]
-        if frame.prefetched:
-            self.counters.add("prefetch_unused")
-        if frame.dirty:
-            self._write_frame(victim_id, frame)
-        del self._frames[victim_id]
-        return True
+        while True:
+            victim_id = None
+            victim = None
+            for pid, frame in self._frames.items():
+                if frame.pin_count == 0:
+                    victim_id, victim = pid, frame
+                    break
+            if victim_id is None or victim is None:
+                if required:
+                    raise BufferError_(
+                        f"buffer pool exhausted: all {self.capacity} "
+                        "frames pinned"
+                    )
+                return False
+            if victim.dirty:
+                self._write_frame(victim_id, victim)
+                if (
+                    self._frames.get(victim_id) is not victim
+                    or victim.pin_count > 0
+                    or victim.dirty
+                ):
+                    continue  # changed during the wait; pick again
+            if victim.prefetched:
+                self.counters.add("prefetch_unused")
+            del self._frames[victim_id]
+            return True
 
     def _write_frame(self, page_id: int, frame: _Frame) -> None:
-        if not frame.dirty:
+        # An unlocked batch write of this page may be in flight; wait it
+        # out (the wait releases the lock) and revalidate — the flush may
+        # have cleaned the frame, or the world may have moved on.
+        while page_id in self._writing:
+            self._cond.wait()
+        if self._frames.get(page_id) is not frame or not frame.dirty:
             return
         if self._wal_hook is not None:
             self._wal_hook(frame.page.page_lsn)
@@ -311,16 +416,18 @@ class BufferPool:
     def _read_aligned_run(self, page_id: int) -> None:
         """Miss path for large_io: read the aligned run containing the page.
 
-        The target page is admitted first and held pinned for the rest of
-        the run admission: when the run fills the pool, later admissions
-        would otherwise evict the not-yet-pinned target, forcing the
-        caller to re-read it (or fail).  The run's other pages are an
-        opportunistic prefetch — skipped, not fatal, when no frame is
-        evictable.
+        The physical reads run with the pool lock released (the caller
+        holds the in-flight claim on ``page_id``), so residency is
+        re-checked before every admission.  The target page is admitted
+        first and held pinned for the rest of the run admission: when the
+        run fills the pool, later admissions would otherwise evict the
+        not-yet-pinned target, forcing the caller to re-read it (or fail).
+        The run's other pages are an opportunistic prefetch — skipped, not
+        fatal, when no frame is evictable.
         """
         ppio = self.disk.pages_per_io
         start = ((page_id - 1) // ppio) * ppio + 1
-        images = self.retrying(lambda: self.disk.read_run(start, ppio))
+        images = self._io_unlocked(lambda: self.disk.read_run(start, ppio))
         target_image = images[page_id - start]
         target_frame = self._frames.get(page_id)
         if target_frame is None:
@@ -328,9 +435,11 @@ class BufferPool:
                 # read_run treats an invalid slot as absent; re-read the
                 # required page directly so the disk raises the precise
                 # error (never written vs ChecksumError).
-                target_image = self.retrying(
+                target_image = self._io_unlocked(
                     lambda: self.disk.read(page_id)
                 )
+                target_frame = self._frames.get(page_id)
+        if target_frame is None:
             target_frame = self._admit(
                 Page.from_bytes(target_image, self.disk.page_size)
             )
@@ -338,7 +447,12 @@ class BufferPool:
         try:
             for offset, image in enumerate(images):
                 pid = start + offset
-                if image is None or pid == page_id or pid in self._frames:
+                if (
+                    image is None
+                    or pid == page_id
+                    or pid in self._frames
+                    or pid in self._inflight
+                ):
                     continue
                 admitted = self._admit(
                     Page.from_bytes(image, self.disk.page_size),
@@ -366,27 +480,90 @@ class BufferPool:
         Returns the page's ``next_page`` sibling pointer so the caller can
         chain along the leaf level without re-fetching, or ``None`` when
         nothing was admitted.
+
+        An already-resident page costs no frame and no I/O: the chain
+        pointer is answered from the pool and the skip is counted under
+        ``prefetch_skipped_resident`` (so read-ahead effectiveness can be
+        judged against how often it merely re-walked cached pages).
+
+        Misses read the whole aligned physical run (§6.3 large I/O), the
+        same batching the demand-fetch miss path uses: one reader thread
+        must be able to stay ahead of several parallel rebuild workers,
+        which it cannot do at one page per device round-trip.
         """
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
+                self.counters.add("prefetch_skipped_resident")
                 return frame.page.next_page
+            if page_id in self._inflight:
+                # Someone is already reading it; treat like resident.
+                self.counters.add("prefetch_skipped_resident")
+                return None
             if not self.disk.exists(page_id):
                 return None
             if len(self._frames) >= self.capacity and not self._evict_one_clean():
                 return None
-            page = Page.from_bytes(
-                self.retrying(lambda: self.disk.read(page_id)),
-                self.disk.page_size,
+            ppio = self.disk.pages_per_io
+            start = ((page_id - 1) // ppio) * ppio + 1
+            claim = [
+                pid
+                for pid in range(start, start + ppio)
+                if pid not in self._frames and pid not in self._inflight
+            ]
+            self._inflight.update(claim)
+            try:
+                if ppio > 1:
+                    images = self._io_unlocked(
+                        lambda: self.disk.read_run(start, ppio)
+                    )
+                else:
+                    images = [self._io_unlocked(
+                        lambda: self.disk.read(page_id)
+                    )]
+                    start = page_id
+            except Exception:
+                # Best effort on every axis: the page may have been freed
+                # between the exists check and the read.
+                return None
+            finally:
+                self._inflight.difference_update(claim)
+                self._cond.notify_all()
+            # The lock was released during the read: re-check capacity
+            # (the pool may have filled) and residency (a page cannot have
+            # been admitted while we held its in-flight claim, but stay
+            # defensive — a duplicate admit would orphan pin counts).
+            next_page: int | None = None
+            # Admit the target first: when the run fills the pool, the
+            # neighbors are the ones to skip.
+            order = sorted(
+                range(len(images)), key=lambda o: start + o != page_id
             )
-            frame = _Frame(page)
-            frame.prefetched = True
-            self._frames[page_id] = frame
-            # Admit at the LRU end: a prefetched page that is never fetched
-            # should be the first thing pressure reclaims, not the last.
-            self._frames.move_to_end(page_id, last=False)
-            self.counters.add("prefetch_admitted")
-            return page.next_page
+            for offset in order:
+                image = images[offset]
+                pid = start + offset
+                if image is None or pid not in claim:
+                    continue
+                if pid in self._frames:
+                    if pid == page_id:
+                        next_page = self._frames[pid].page.next_page
+                    continue
+                if (
+                    len(self._frames) >= self.capacity
+                    and not self._evict_one_clean()
+                ):
+                    break
+                page = Page.from_bytes(image, self.disk.page_size)
+                frame = _Frame(page)
+                frame.prefetched = True
+                self._frames[pid] = frame
+                # Admit at the LRU end: a prefetched page that is never
+                # fetched should be the first thing pressure reclaims.
+                self._frames.move_to_end(pid, last=False)
+                self.counters.add("prefetch_admitted")
+                if pid == page_id:
+                    next_page = page.next_page
+            return next_page
 
     def _evict_one_clean(self) -> bool:
         """Evict the least-recently-used *clean* unpinned frame, if any."""

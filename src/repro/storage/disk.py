@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import struct
 import threading
+import time
 import zlib
 
 from repro.errors import ChecksumError, StorageError
@@ -55,6 +56,7 @@ class Disk:
         io_size: int | None = None,
         counters: Counters | None = None,
         checksums: bool = True,
+        latency: float = 0.0,
     ) -> None:
         """``io_size`` is the physical transfer size in bytes (default: one
         page).  It must be a multiple of ``page_size``; 16384 with 2048-byte
@@ -62,7 +64,13 @@ class Disk:
 
         ``checksums=False`` skips CRC computation and verification (the
         physical layout keeps its trailer, zeroed) — the perf harness uses
-        it to price the checksum plumbing."""
+        it to price the checksum plumbing.
+
+        ``latency`` is a simulated per-physical-call service time in
+        seconds.  Each I/O call sleeps for that long *outside* the disk
+        lock, so concurrent callers overlap their waits exactly as real
+        threads overlap real disk time — this is what the parallel-rebuild
+        A/B measures (the GIL is released during ``time.sleep``)."""
         if io_size is None:
             io_size = page_size
         if io_size % page_size != 0:
@@ -73,9 +81,20 @@ class Disk:
         self.io_size = io_size
         self.pages_per_io = io_size // page_size
         self.checksums = checksums
+        if latency < 0.0:
+            raise StorageError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
         self._pages: dict[int, bytes] = {}
         self._lock = threading.Lock()
+
+    def _service(self, calls: int) -> None:
+        """Charge the simulated service time for ``calls`` physical I/Os.
+
+        Runs with no lock held: concurrent I/Os from different threads
+        overlap their sleeps, one thread's I/Os serialize."""
+        if self.latency > 0.0 and calls > 0:
+            time.sleep(self.latency * calls)
 
     # --------------------------------------------------------------- trailer
 
@@ -115,6 +134,7 @@ class Disk:
                 blob = self._pages[page_id]
             except KeyError:
                 raise StorageError(f"page {page_id} was never written") from None
+        self._service(1)
         self.counters.add("disk_io_calls")
         self.counters.add("disk_pages_read")
         return self._unseal(page_id, blob)
@@ -122,6 +142,7 @@ class Disk:
     def write(self, page_id: int, data: bytes) -> None:
         """Write one page image durably (one physical I/O call)."""
         self._store(page_id, data)
+        self._service(1)
         self.counters.add("disk_io_calls")
         self.counters.add("disk_pages_written")
 
@@ -139,7 +160,9 @@ class Disk:
             return []
         with self._lock:
             blobs = [self._pages.get(start_page + i) for i in range(count)]
-        self.counters.add("disk_io_calls", _io_calls(count, self.pages_per_io))
+        calls = _io_calls(count, self.pages_per_io)
+        self._service(calls)
+        self.counters.add("disk_io_calls", calls)
         self.counters.add("disk_pages_read", count)
         return [
             self._unseal_or_none(start_page + i, blob)
@@ -168,6 +191,7 @@ class Disk:
                 calls += 1
                 run = 1
         calls += 1
+        self._service(calls)
         self.counters.add("disk_io_calls", calls)
         self.counters.add("disk_pages_written", len(ids))
 

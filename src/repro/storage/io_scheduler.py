@@ -52,7 +52,14 @@ _WRITER_BACKOFF = 0.002  # seconds, doubled per attempt
 
 
 class CompletionToken:
-    """Handle for one barrier submitted to the write-behind forcer."""
+    """Handle for one completion another thread waits on.
+
+    The write-behind forcer hands one out per barrier; the partitioned
+    parallel rebuild also uses free-standing tokens for its seam-handoff
+    protocol (a worker :meth:`complete`\\ s its token when its segment is
+    done, and the right-hand neighbor waits on it before contending for
+    the seam page).
+    """
 
     __slots__ = ("_event", "_error")
 
@@ -60,8 +67,12 @@ class CompletionToken:
         self._event = threading.Event()
         self._error: BaseException | None = None
 
-    def _complete(self) -> None:
+    def complete(self) -> None:
+        """Mark the token done (wakes every waiter)."""
         self._event.set()
+
+    # Internal alias kept for the scheduler's writer loop.
+    _complete = complete
 
     def _fail(self, exc: BaseException) -> None:
         self._error = exc
@@ -70,6 +81,12 @@ class CompletionToken:
     @property
     def done(self) -> bool:
         return self._event.is_set() and self._error is None
+
+    def wait_done(self, timeout: float) -> bool:
+        """Bounded wait that reports completion instead of raising — the
+        seam-handoff waiter polls this so it can keep checking for a
+        worker-pool stop signal between waits."""
+        return self._event.wait(timeout) and self._error is None
 
     def wait(self, timeout: float = _FORCE_TIMEOUT) -> None:
         """Block until the barrier's pages are durable.
@@ -95,6 +112,13 @@ class IOScheduler:
     submissions are never dropped (they carry durability obligations),
     but the queue is drained by a single writer so submission order is
     flush order.
+
+    One scheduler may serve several rebuild workers at once: submissions
+    and barriers are queue-ordered, and a barrier makes durable
+    *everything* queued before it, which is a superset of the §3
+    obligation each worker needs for its own transaction.  The parallel
+    driver scales ``depth`` by the worker count so each worker keeps its
+    own read-ahead window.
     """
 
     def __init__(
@@ -198,7 +222,9 @@ class IOScheduler:
     def prefetch_chain(self, start_page: int, npages: int) -> None:
         """Hint: the next ``npages`` source leaves starting at ``start_page``
         will be fetched soon.  Bounded by ``depth``; stale hints (oldest
-        first) are dropped when the queue is full."""
+        first) are dropped when the queue is full.  Pages already resident
+        cost the reader no frame and no I/O — the pool answers the chain
+        pointer from cache and counts ``prefetch_skipped_resident``."""
         if start_page == NO_PAGE or npages <= 0:
             return
         with self._cv:

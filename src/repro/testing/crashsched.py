@@ -27,11 +27,22 @@ The OLTP ops run from a ``rebuild.txn_committed`` hook on the rebuild
 thread itself — between rebuild transactions, when no rebuild locks are
 held — which keeps every run bit-deterministic while still interleaving
 user writes with the rebuild the way §6.2 does.
+
+**Parallel mode** (``parallel_workers > 1``) crashes the partitioned
+parallel rebuild instead, covering the ``rebuild.partition.*`` seam
+syncpoints.  Thread interleaving makes replay ordinals *approximate*
+rather than exact: the nth firing of a syncpoint may land in a different
+worker than during enumeration, and a firing count that comes up short
+simply yields a clean (uncrashed) run.  The correctness check is
+unaffected either way — ``expected`` tracks exactly the ops that
+completed (under a lock) before whatever crash actually happened, so
+verification is sound for every interleaving the replay produces.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.concurrency.syncpoints import CrashPoint
@@ -124,6 +135,7 @@ class CrashScheduleHarness:
         buffer_capacity: int = 2048,
         io_size: int = 8192,
         finish_after_recovery: bool = False,
+        parallel_workers: int = 1,
     ) -> None:
         self.key_count = key_count
         self.seed = seed
@@ -137,6 +149,9 @@ class CrashScheduleHarness:
         self.finish_after_recovery = finish_after_recovery
         """Also re-run the rebuild to completion after each recovery and
         re-verify — proves restartability on every schedule (slower)."""
+        self.parallel_workers = parallel_workers
+        """> 1 crashes the partitioned parallel rebuild (see the module
+        docstring on approximate replay ordinals under threads)."""
 
     # ------------------------------------------------------------- scenario
 
@@ -144,8 +159,9 @@ class CrashScheduleHarness:
         return RebuildConfig(
             ntasize=self.ntasize,
             xactsize=self.xactsize,
-            pipeline_depth=0,  # determinism: no background threads
+            pipeline_depth=0,  # determinism: no background I/O threads
             io_retry_limit=io_retry_limit,
+            parallel_workers=self.parallel_workers,
         )
 
     def _build(self, plan: FaultPlan):
@@ -153,7 +169,11 @@ class CrashScheduleHarness:
         (engine, tree, expected-key-set)."""
         engine = Engine(
             buffer_capacity=self.buffer_capacity,
-            lock_timeout=15.0,
+            # Parallel runs keep the timeout short: after a simulated power
+            # failure in one worker, a peer blocked on the dead worker's
+            # locks must fall out of its wait quickly instead of stretching
+            # every crash schedule by a full serial-length timeout.
+            lock_timeout=15.0 if self.parallel_workers <= 1 else 5.0,
             io_size=self.io_size,
             fault_plan=plan,
         )
@@ -179,20 +199,26 @@ class CrashScheduleHarness:
         fresh = {"next": self.key_count}
         deletable = sorted(expected)
         applied: list[tuple[str, int]] = []
+        # Parallel rebuilds fire txn_committed from several worker threads;
+        # the hook's shared state (rng, expected, applied) is serialized
+        # here.  `expected` is updated only after the op returns, so at a
+        # crash it holds exactly the committed logical state.
+        hook_lock = threading.Lock()
 
         def ops(_ctx: dict) -> None:
-            for _ in range(self.oltp_ops_per_boundary):
-                if rng.random() < 0.5 or not deletable:
-                    k = fresh["next"]
-                    fresh["next"] += 1
-                    tree.insert(_key(k), k)
-                    expected.add(k)
-                    applied.append(("insert", k))
-                else:
-                    k = deletable.pop(rng.randrange(len(deletable)))
-                    tree.delete(_key(k), k)
-                    expected.discard(k)
-                    applied.append(("delete", k))
+            with hook_lock:
+                for _ in range(self.oltp_ops_per_boundary):
+                    if rng.random() < 0.5 or not deletable:
+                        k = fresh["next"]
+                        fresh["next"] += 1
+                        tree.insert(_key(k), k)
+                        expected.add(k)
+                        applied.append(("insert", k))
+                    else:
+                        k = deletable.pop(rng.randrange(len(deletable)))
+                        tree.delete(_key(k), k)
+                        expected.discard(k)
+                        applied.append(("delete", k))
 
         engine.syncpoints.on("rebuild.txn_committed", ops)
         return applied
@@ -302,10 +328,13 @@ class CrashScheduleHarness:
         applied = self._attach_oltp(engine, tree, expected)
         if schedule.kind == "syncpoint":
             seen = {"n": 0}
+            seen_lock = threading.Lock()
 
             def boom(_ctx: dict) -> None:
-                seen["n"] += 1
-                if seen["n"] == schedule.nth:
+                with seen_lock:
+                    seen["n"] += 1
+                    fire = seen["n"] == schedule.nth
+                if fire:
                     raise CrashPoint(schedule.point)
 
             # Register the crash hook *before* the OLTP hook fires for the

@@ -40,6 +40,9 @@ class OltpStats:
     """Operations that failed on an (injected) storage fault; each is also
     recorded in ``errors`` with the failing op's name."""
     errors: list[str] = field(default_factory=list)
+    latency_samples: dict[str, list[float]] = field(default_factory=dict)
+    """Per-op-class wall-clock latencies in seconds (completed ops only),
+    keyed by ``insert`` / ``delete`` / ``scan``."""
 
     @property
     def operations(self) -> int:
@@ -50,6 +53,35 @@ class OltpStats:
         if self.duration_seconds <= 0:
             return 0.0
         return self.operations / self.duration_seconds
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """p50/p95/p99 latency (milliseconds) per op class plus ``all``.
+
+        Tail percentiles are what a rebuild running alongside the workload
+        actually moves — mean throughput can look flat while blocked-time
+        spikes show up squarely in p99.  Nearest-rank on the raw samples;
+        classes with no samples are omitted.
+        """
+        out: dict[str, dict[str, float]] = {}
+        merged: list[float] = []
+        for op, samples in sorted(self.latency_samples.items()):
+            if samples:
+                out[op] = _percentiles_ms(samples)
+                merged.extend(samples)
+        if merged:
+            out["all"] = _percentiles_ms(merged)
+        return out
+
+
+def _percentiles_ms(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def rank(p: float) -> float:
+        idx = max(0, min(n - 1, int(p * n + 0.5) - 1))
+        return ordered[idx] * 1000.0
+
+    return {"p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99)}
 
 
 class MixedWorkload:
@@ -131,6 +163,9 @@ class MixedWorkload:
     def _worker(self, ordinal: int) -> None:
         rnd = random.Random(self.seed * 1000 + ordinal)
         inserts = deletes = scans = scan_rows = 0
+        samples: dict[str, list[float]] = {
+            "insert": [], "delete": [], "scan": []
+        }
         try:
             while not self._stop.is_set():
                 if self.before_op is not None:
@@ -145,6 +180,7 @@ class MixedWorkload:
                     if dice < self.write_fraction
                     else "scan"
                 )
+                began = time.perf_counter()
                 try:
                     if op == "insert":
                         try:
@@ -169,6 +205,7 @@ class MixedWorkload:
                                 break
                         scans += 1
                         scan_rows += rows
+                    samples[op].append(time.perf_counter() - began)
                 except StorageError as exc:
                     # An (injected) I/O fault killed this op: record which
                     # op failed and keep the worker alive — fault runs stay
@@ -192,3 +229,8 @@ class MixedWorkload:
                 self.stats.deletes += deletes
                 self.stats.scans += scans
                 self.stats.scan_rows += scan_rows
+                for op, vals in samples.items():
+                    if vals:
+                        self.stats.latency_samples.setdefault(
+                            op, []
+                        ).extend(vals)

@@ -1,0 +1,198 @@
+"""Unit tests for the partition planner (parallel rebuild, issue 6).
+
+The planner's contract: up to ``workers`` contiguous disjoint segments
+whose seams are strictly increasing units, the first starting at the
+chain head (``start_unit=None``) and the last running to its end
+(``stop_before=None``).  The default plan comes from level-1 separators
+(no leaf I/O); the exact-packing plan walks the leaves and admits only
+packing-exact seams.
+"""
+
+from __future__ import annotations
+
+from repro import Engine, RebuildConfig
+from repro.core.partition import (
+    PartitionPlan,
+    _choose_cuts,
+    _plan_from_level1,
+    plan_partitions,
+)
+from repro.storage.page import NO_PAGE, PageType
+from tests.conftest import intkey, make_half_empty
+
+
+def _first_leaf(engine: Engine, tree) -> int:
+    """Unlatched descent along first children (quiesced tree only)."""
+    from repro.btree import node
+
+    pid = tree.root_page_id
+    while True:
+        page = engine.ctx.buffer.fetch(pid)
+        try:
+            if page.page_type is not PageType.NONLEAF:
+                return pid
+            child = node.entry_child(page.rows[0])
+        finally:
+            engine.ctx.buffer.unpin(pid)
+        pid = child
+
+
+def _leaf_chain_units(engine: Engine, tree) -> list[list[bytes]]:
+    """Units per leaf, walking the chain (quiesced tree only)."""
+    out: list[list[bytes]] = []
+    pid = _first_leaf(engine, tree)
+    while pid != NO_PAGE:
+        page = engine.ctx.buffer.fetch(pid)
+        try:
+            out.append([bytes(r) for r in page.rows])
+            pid = page.next_page
+        finally:
+            engine.ctx.buffer.unpin(page.page_id)
+    return out
+
+
+def _fragmented(key_count: int = 4000):
+    engine = Engine(buffer_capacity=2048)
+    tree = engine.create_index(key_len=4)
+    make_half_empty(tree, key_count)
+    return engine, tree
+
+
+def _check_plan_shape(plan: PartitionPlan, workers: int) -> None:
+    segs = plan.segments
+    assert 1 <= len(segs) <= workers
+    assert segs[0].start_unit is None
+    assert segs[-1].stop_before is None
+    for left, right in zip(segs, segs[1:]):
+        # Contiguous: each seam is both a stop and the next start.
+        assert left.stop_before == right.start_unit
+    seams = [s.stop_before for s in segs[:-1]]
+    assert seams == sorted(seams)
+    assert len(set(seams)) == len(seams)  # strictly increasing
+
+
+def test_level1_plan_covers_chain_disjointly():
+    engine, tree = _fragmented()
+    plan = plan_partitions(
+        engine.ctx, tree, RebuildConfig(parallel_workers=4), 0, 4
+    )
+    _check_plan_shape(plan, 4)
+    assert len(plan.segments) == 4  # 4000 half-empty keys: plenty of leaves
+    # Every seam splits the unit stream exactly: a unit belongs to the one
+    # segment with start <= unit < stop.
+    leaves = _leaf_chain_units(engine, tree)
+    units = [u for leaf in leaves for u in leaf]
+    seams = [s.stop_before for s in plan.segments[:-1]]
+    counts = [0] * len(plan.segments)
+    for unit in units:
+        owner = sum(1 for seam in seams if unit >= seam)
+        counts[owner] += 1
+    assert sum(counts) == len(units)
+    assert all(c > 0 for c in counts)
+    # Level-1 cuts balance leaf counts: no segment is pathologically small.
+    assert min(counts) >= len(units) // (4 * 4)
+
+
+def test_level1_seams_fall_on_leaf_boundaries():
+    """A level-1 separator is the routing key of a leaf (possibly
+    suffix-truncated), so every seam must split the chain *between* two
+    leaves — each leaf is copied whole by exactly one worker."""
+    engine, tree = _fragmented()
+    plan = _plan_from_level1(engine.ctx, tree, 4)
+    assert plan is not None
+    leaves = _leaf_chain_units(engine, tree)
+    assert plan.leaves_walked == len(leaves)
+    for seg in plan.segments[:-1]:
+        seam = seg.stop_before
+        for leaf in leaves:
+            # No leaf straddles the seam.
+            assert leaf[0] >= seam or leaf[-1] < seam
+    # Only the leftmost segment's start is packing-exact by construction.
+    assert plan.segments[0].clean_start
+    assert not any(s.clean_start for s in plan.segments[1:])
+
+
+def test_level1_falls_back_on_single_leaf_root():
+    """A root-leaf tree has no nonleaf level: the descent bails and the
+    leaf walk plans the single segment."""
+    engine = Engine(buffer_capacity=256)
+    tree = engine.create_index(key_len=4)
+    for k in range(8):
+        tree.insert(intkey(k), k)
+    assert _plan_from_level1(engine.ctx, tree, 4) is None
+    plan = plan_partitions(
+        engine.ctx, tree, RebuildConfig(parallel_workers=4),
+        tree.root_page_id, 4,
+    )
+    assert len(plan.segments) == 1
+    assert plan.segments[0].start_unit is None
+    assert plan.segments[0].stop_before is None
+
+
+def test_exact_packing_plan_admits_only_clean_cuts():
+    engine, tree = _fragmented()
+    config = RebuildConfig(parallel_workers=4, partition_exact_packing=True)
+    first = _first_leaf(engine, tree)
+    plan = plan_partitions(engine.ctx, tree, config, first, 4)
+    _check_plan_shape(plan, 4)
+    leaves = _leaf_chain_units(engine, tree)
+    assert plan.leaves_walked == len(leaves)
+    assert plan.total_units == sum(len(leaf) for leaf in leaves)
+    # Exact packing: every cut taken is clean (possibly fewer segments).
+    assert plan.clean_cuts == len(plan.segments) - 1
+    for seg in plan.segments:
+        assert seg.clean_start
+
+
+def test_workers_one_plans_single_segment():
+    engine, tree = _fragmented(key_count=1000)
+    plan = plan_partitions(
+        engine.ctx, tree, RebuildConfig(), 0, 1
+    )
+    assert len(plan.segments) == 1
+    assert plan.segments[0] == plan.segments[0].__class__(
+        start_unit=None, stop_before=None, clean_start=True
+    )
+
+
+# ------------------------------------------------------------- _choose_cuts
+
+
+def _b(cum: int, unit: bytes, clean: bool) -> tuple[int, bytes, bool]:
+    return (cum, unit, clean)
+
+
+def test_choose_cuts_prefers_clean_within_window():
+    # Ideal cut at 50; dirty boundary dead-on, clean one 10 units off
+    # (window = 25% of 50 = 12.5, so the clean one wins).
+    boundaries = [_b(40, b"a", True), _b(50, b"b", False)]
+    cuts = _choose_cuts(boundaries, 100, 2, exact_packing=False)
+    assert cuts == [(40, b"a", True)]
+
+
+def test_choose_cuts_takes_nearest_when_no_clean_in_window():
+    boundaries = [_b(10, b"a", True), _b(48, b"b", False)]
+    cuts = _choose_cuts(boundaries, 100, 2, exact_packing=False)
+    assert cuts == [(48, b"b", False)]
+
+
+def test_choose_cuts_exact_packing_drops_dirty_only_regions():
+    # Two cuts wanted; only one clean boundary exists → one cut, two
+    # segments instead of three.
+    boundaries = [_b(30, b"a", False), _b(33, b"b", True), _b(66, b"c", False)]
+    cuts = _choose_cuts(boundaries, 100, 3, exact_packing=True)
+    assert cuts == [(33, b"b", True)]
+
+
+def test_choose_cuts_strictly_increasing():
+    # Both ideals (33, 66) are nearest to the same boundary; it may be
+    # used once only.
+    boundaries = [_b(50, b"a", False)]
+    cuts = _choose_cuts(boundaries, 100, 3, exact_packing=False)
+    assert cuts == [(50, b"a", False)]
+
+
+def test_choose_cuts_degenerate_inputs():
+    assert _choose_cuts([], 100, 4, exact_packing=False) == []
+    assert _choose_cuts([_b(1, b"a", True)], 0, 4, exact_packing=False) == []
+    assert _choose_cuts([_b(1, b"a", True)], 100, 1, exact_packing=False) == []

@@ -252,3 +252,38 @@ def test_read_aligned_run_survives_prefetch_eviction(counters):
     pool.unpin(1)  # must not raise: the frame returned is the resident one
     for pid in range(9, 16):
         pool.unpin(pid)
+
+
+def test_prefetch_resident_page_skips_io_and_counts(pool, disk, counters):
+    put_page(disk, 1)
+    pool.fetch(1)
+    pool.unpin(1)
+    before_io = counters.disk_io_calls
+    before_skip = counters.prefetch_skipped_resident
+    nxt = pool.prefetch(1)
+    assert counters.disk_io_calls == before_io  # answered from the pool
+    assert counters.prefetch_skipped_resident == before_skip + 1
+    assert nxt == pool.fetch(1).next_page
+    pool.unpin(1)
+
+
+def test_prefetch_reads_whole_aligned_run(counters):
+    """A prefetch miss batches like the demand-miss path: one physical
+    call pulls the full aligned run in, target plus neighbors, so one
+    reader thread can stay ahead of several copy workers."""
+    disk = Disk(io_size=2048 * 4, counters=counters)  # 4 pages per IO
+    pool = BufferPool(disk, capacity=8, counters=counters)
+    for pid in range(1, 9):
+        put_page(disk, pid, b"p%d" % pid)
+    before = counters.disk_io_calls
+    pool.prefetch(6)  # aligned run is 5..8
+    assert counters.disk_io_calls - before == 1
+    for pid in (5, 6, 7, 8):
+        assert pool.is_resident(pid), pid
+    # Neighbors were admitted unpinned at the LRU end: pressure reclaims
+    # them first, and fetching one is a hit, not a second read.
+    before = counters.disk_io_calls
+    page = pool.fetch(7)
+    assert counters.disk_io_calls == before
+    assert page.rows == [b"p7"]
+    pool.unpin(7)

@@ -1,5 +1,7 @@
 """Unit tests for the simulated disk (repro.storage.disk)."""
 
+import time
+
 import pytest
 
 from repro.errors import StorageError
@@ -116,3 +118,24 @@ def test_durability_write_overwrites(counters):
     disk.write(1, image(1))
     disk.write(1, image(2))
     assert disk.read(1) == image(2)
+
+
+def test_simulated_latency_sleeps_per_call(counters):
+    disk = Disk(io_size=2048 * 8, counters=counters, latency=0.01)
+    for pid in range(1, 9):
+        disk.write(pid, image(pid))
+    start = time.perf_counter()
+    disk.read_run(1, 8)  # one physical call despite 8 pages
+    one_call = time.perf_counter() - start
+    start = time.perf_counter()
+    for pid in range(1, 9):
+        disk.read(pid)  # eight physical calls
+    eight_calls = time.perf_counter() - start
+    assert one_call >= 0.01
+    assert eight_calls >= 0.08
+    assert eight_calls > one_call * 3  # scattered I/O pays per call
+
+
+def test_negative_latency_rejected(counters):
+    with pytest.raises(StorageError):
+        Disk(counters=counters, latency=-0.001)

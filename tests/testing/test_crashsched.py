@@ -60,3 +60,54 @@ def test_randomized_schedule_smoke():
         f"random schedule failed (replay with REPRO_FAULT_SEED={seed}): "
         f"{outcome.schedule}: {outcome.error}"
     )
+
+
+# ------------------------------------------------------- parallel rebuild
+
+
+def test_parallel_quick_sweep_partition_points():
+    """Crash the 2-worker partitioned rebuild at every
+    ``rebuild.partition.*`` syncpoint (plan, worker start, seam release,
+    worker done, merge): each crash must recover to exactly the committed
+    key set.  This is the seam-handoff protocol's power-failure coverage."""
+    harness = CrashScheduleHarness(key_count=2000, seed=11, parallel_workers=2)
+    schedules = [
+        s
+        for s in harness.enumerate_schedules(include_faults=False)
+        if s.point is not None and s.point.startswith("rebuild.partition.")
+    ]
+    assert len(schedules) >= 8, "partition syncpoint enumeration shrank"
+    report = harness.run_sweep(schedules=schedules)
+    assert report.crashes_simulated == report.schedules_run
+    assert report.ok, _fail_report(report)
+
+
+@pytest.mark.slow
+def test_parallel_exhaustive_sweep_all_schedules():
+    """Every enumerated schedule — copy/propagation syncpoints and disk
+    faults included — against the 2-worker driver.  A crash in one worker
+    must never strand a peer (the pool-stop protocol) or lose a committed
+    transaction from any worker."""
+    harness = CrashScheduleHarness(key_count=2000, seed=11, parallel_workers=2)
+    report = harness.run_sweep()
+    assert report.schedules_run >= 30, "schedule enumeration shrank"
+    assert report.crashes_simulated > 0
+    assert report.ok, _fail_report(report)
+
+
+@pytest.mark.slow
+def test_parallel_sweep_rebuild_finishes_after_recovery():
+    """After every partition-point crash, a fresh (still parallel) rebuild
+    runs to completion and verifies — restartability holds regardless of
+    which worker died."""
+    harness = CrashScheduleHarness(
+        key_count=2000, seed=11, parallel_workers=2,
+        finish_after_recovery=True,
+    )
+    schedules = [
+        s
+        for s in harness.enumerate_schedules(include_faults=False)
+        if s.point is not None and s.point.startswith("rebuild.partition.")
+    ]
+    report = harness.run_sweep(schedules=schedules)
+    assert report.ok, _fail_report(report)

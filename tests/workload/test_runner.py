@@ -85,3 +85,42 @@ def test_stop_joins_cleanly_within_timeout():
     )
     stats = workload.run_for(0.1, join_timeout=10.0)
     assert stats.errors == []
+
+
+def test_latency_percentiles_nearest_rank():
+    from repro.workload.runner import OltpStats, _percentiles_ms
+
+    samples = [i / 1000.0 for i in range(1, 101)]  # 1ms .. 100ms
+    pct = _percentiles_ms(samples)
+    assert pct == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+    stats = OltpStats(latency_samples={"insert": samples, "scan": [0.002]})
+    out = stats.latency_percentiles()
+    assert out["insert"]["p95"] == 95.0
+    assert out["scan"] == {"p50": 2.0, "p95": 2.0, "p99": 2.0}
+    # "all" merges every op class.
+    assert out["all"]["p99"] == 99.0
+
+
+def test_latency_percentiles_empty_stats():
+    from repro.workload.runner import OltpStats
+
+    assert OltpStats().latency_percentiles() == {}
+
+
+def test_workload_collects_latency_samples():
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    for k in range(0, 500, 2):
+        index.insert(intkey(k), k)
+    workload = MixedWorkload(
+        index, intkey, key_count=500, threads=2, write_fraction=0.5,
+    )
+    stats = workload.run_for(0.2, join_timeout=10.0)
+    assert stats.errors == []
+    total = sum(len(v) for v in stats.latency_samples.values())
+    # One sample per *attempted* op; the op tallies count only effective
+    # ones (a duplicate insert or missing-key delete is sampled, not
+    # tallied), so samples can only exceed the tallies.
+    assert total >= stats.operations > 0
+    pct = stats.latency_percentiles()
+    assert pct["all"]["p50"] <= pct["all"]["p95"] <= pct["all"]["p99"]

@@ -7,7 +7,10 @@ Public API:
 * :class:`BTree` — the secondary-index manager (insert/delete/scan);
 * :class:`OnlineRebuild` / :class:`RebuildConfig` — the paper's online
   index rebuild (multipage rebuild top actions);
-* :func:`offline_rebuild` — the drop-and-recreate baseline.
+* :func:`offline_rebuild` — the drop-and-recreate baseline;
+* :class:`RebuildSupervisor` — crash/fault-resilient rebuild lifecycle
+  (WAL-checkpointed resume, watchdog, retry with backoff, graceful
+  degradation under fault storms).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -17,7 +20,13 @@ from repro.btree.tree import BTree
 from repro.core.config import RebuildConfig
 from repro.core.offline import OfflineReport, offline_rebuild
 from repro.core.rebuild import OnlineRebuild, RebuildReport
+from repro.core.supervisor import (
+    RebuildSupervisor,
+    SupervisorConfig,
+    SupervisorReport,
+)
 from repro.engine import Engine
+from repro.wal.recovery import RebuildCheckpoint
 from repro.errors import ReproError
 from repro.stats.counters import Counters, Timer
 from repro.stats.fragmentation import FragmentationReport, analyze_index
@@ -29,9 +38,13 @@ __all__ = [
     "FragmentationReport",
     "OfflineReport",
     "OnlineRebuild",
+    "RebuildCheckpoint",
     "RebuildConfig",
     "RebuildReport",
+    "RebuildSupervisor",
     "ReproError",
+    "SupervisorConfig",
+    "SupervisorReport",
     "Timer",
     "analyze_index",
     "offline_rebuild",

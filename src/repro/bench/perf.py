@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import RebuildConfig
 from repro.core.rebuild import OnlineRebuild
+from repro.core.supervisor import RebuildSupervisor, SupervisorConfig
 from repro.engine import Engine
 from repro.stats.counters import Timer
 from repro.workload.builder import bulk_load
@@ -122,6 +123,8 @@ def run_scenario(
     checksums: bool = True,
     parallel_workers: int = 1,
     io_latency: float = 0.0,
+    log_progress: bool = True,
+    supervised: bool = False,
 ) -> PerfResult:
     """Build, fragment, and online-rebuild an index; return all timings.
 
@@ -136,7 +139,11 @@ def run_scenario(
     ``parallel_workers`` engages the partitioned parallel rebuild driver
     (issue 6); ``io_latency`` adds a simulated per-physical-call device
     delay so I/O-bound phases behave like they would on a real device
-    (sleeps overlap across threads).
+    (sleeps overlap across threads).  ``log_progress=False`` suppresses
+    the issue 7 durable ``REBUILD_PROGRESS`` records (the pre-issue-7
+    code path, used as the A/B baseline); ``supervised`` wraps the
+    rebuild in a default-policy :class:`RebuildSupervisor` with its
+    monitor thread watching heartbeats and OLTP latency.
     """
     result = PerfResult(
         config={
@@ -152,6 +159,8 @@ def run_scenario(
             "checksums": checksums,
             "parallel_workers": parallel_workers,
             "io_latency": io_latency,
+            "log_progress": log_progress,
+            "supervised": supervised,
         }
     )
     engine = Engine(
@@ -205,7 +214,15 @@ def run_scenario(
                 pipeline_depth=pipeline_depth,
                 group_commit_window=group_commit_window,
                 parallel_workers=parallel_workers,
+                log_progress=log_progress,
             )
+            if supervised:
+                return RebuildSupervisor(
+                    tree,
+                    rebuild_cfg,
+                    SupervisorConfig(),
+                    oltp_stats=workload.stats if workload else None,
+                ).run().final
             return OnlineRebuild(tree, rebuild_cfg).run()
         finally:
             if workload is not None:
@@ -551,6 +568,111 @@ def run_faults_ab(
     }
 
 
+def run_supervisor_ab(
+    rounds: int = 3,
+    key_count: int = DEFAULT_KEYS,
+    seed: int = 42,
+    traffic_threads: int = 4,
+    buffer_capacity: int = AB_CAPACITY,
+) -> dict:
+    """Progress-logging / supervision A/B; returns the ``BENCH_PR7.json``
+    payload.
+
+    Three sides per round, interleaved, on the issue 3 pressured
+    pipelined cold-rebuild scenario:
+
+    * **baseline** — ``log_progress=False``, no supervisor: the
+      pre-issue-7 code path, the PR 6 reference.
+    * **progress** — the issue 7 defaults (``log_progress=True``, still
+      no supervisor): one ~90-byte ``REBUILD_PROGRESS`` record per
+      rebuild transaction, riding commit flushes.  The acceptance bar:
+      within 2% of baseline wall clock.
+    * **supervised** — a default-policy :class:`RebuildSupervisor`
+      around the same run (monitor thread polling heartbeats and fault
+      counters).  Reported for information; on a healthy run the
+      monitor only reads counters, so the cost is one mostly-sleeping
+      thread.
+
+    A second part repeats baseline vs progress under the 4-thread mixed
+    workload, with the supervisor given the live ``OltpStats``.
+    """
+    sides = (
+        ("baseline", {"log_progress": False, "supervised": False}),
+        ("progress", {"log_progress": True, "supervised": False}),
+        ("supervised", {"log_progress": True, "supervised": True}),
+    )
+    pairs = []
+    for n in range(1, rounds + 1):
+        entry: dict = {"pair": n}
+        for label, kw in sides:
+            r = run_scenario(
+                key_count=key_count, seed=seed, traffic_threads=0,
+                buffer_capacity=buffer_capacity, cold_rebuild=True,
+                pipeline_depth=AB_PIPELINE_DEPTH, **kw,
+            )
+            entry.setdefault("rebuild_cold", {})[label] = _rebuild_metrics(r)
+        for label, kw in sides:
+            r = run_scenario(
+                key_count=key_count, seed=seed,
+                traffic_threads=traffic_threads, buffer_capacity=2048,
+                cold_rebuild=True, pipeline_depth=AB_PIPELINE_DEPTH,
+                group_commit_window=AB_GROUP_COMMIT_WINDOW, **kw,
+            )
+            entry.setdefault("under_traffic", {})[label] = _rebuild_metrics(r)
+        pairs.append(entry)
+
+    def best(part: str, side: str, metric: str) -> float:
+        return min(p[part][side][metric] for p in pairs)
+
+    base_wall = best("rebuild_cold", "baseline", "wall_seconds")
+    prog_wall = best("rebuild_cold", "progress", "wall_seconds")
+    sup_wall = best("rebuild_cold", "supervised", "wall_seconds")
+    summary = {
+        "rebuild_wall_seconds": {
+            "baseline_min": base_wall,
+            "progress_min": prog_wall,
+            "supervised_min": sup_wall,
+            "progress_overhead_percent": round(
+                (prog_wall - base_wall) / max(base_wall, 1e-9) * 100.0, 2
+            ),
+            "supervised_overhead_percent": round(
+                (sup_wall - base_wall) / max(base_wall, 1e-9) * 100.0, 2
+            ),
+        },
+        "log_flushes": {
+            "baseline_min": best("rebuild_cold", "baseline", "log_flushes"),
+            "progress_min": best("rebuild_cold", "progress", "log_flushes"),
+        },
+        "under_traffic_wall_seconds": {
+            "baseline_min": best("under_traffic", "baseline", "wall_seconds"),
+            "progress_min": best("under_traffic", "progress", "wall_seconds"),
+            "supervised_min": best(
+                "under_traffic", "supervised", "wall_seconds"
+            ),
+        },
+    }
+    return {
+        "benchmark": (
+            "benchmarks/run_perf.py --supervisor-ab: the issue 3 pressured "
+            f"pipelined cold-rebuild scenario ({key_count} keys, "
+            f"{buffer_capacity}-frame pool) run three ways — "
+            "log_progress off (pre-issue-7 baseline), log_progress on "
+            "(issue 7 defaults), and wrapped in a default-policy "
+            "RebuildSupervisor — plus the same trio under a "
+            f"{traffic_threads}-thread mixed workload"
+        ),
+        "methodology": (
+            "Interleaved A/B/C on the same seeded scenario and host; "
+            "minima across rounds are compared (noise is additive). "
+            "Progress records ride commit flushes, so the honest costs "
+            "are the extra log bytes and the append — log_flushes is "
+            "reported to show the flush count itself does not move."
+        ),
+        "pairs": pairs,
+        "summary": summary,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the repo's perf-trajectory scenario and emit JSON."
@@ -613,6 +735,11 @@ def main(argv: list[str] | None = None) -> int:
              "emitting the BENCH_PR6.json payload",
     )
     parser.add_argument(
+        "--supervisor-ab", type=int, metavar="N", default=0,
+        help="interleaved progress-logging/supervision A/B: N rounds, "
+             "emitting the BENCH_PR7.json payload",
+    )
+    parser.add_argument(
         "--io-latency", type=float, default=0.0,
         help="simulated per-physical-call device latency in seconds "
              f"(workers A/B defaults to {WORKERS_AB_LATENCY})",
@@ -654,6 +781,15 @@ def main(argv: list[str] | None = None) -> int:
                 traffic_threads=threads or 4,
                 buffer_capacity=args.capacity or WORKERS_AB_CAPACITY,
                 io_latency=args.io_latency or WORKERS_AB_LATENCY,
+            ),
+            indent=1,
+        )
+    elif args.supervisor_ab:
+        payload = json.dumps(
+            run_supervisor_ab(
+                rounds=args.supervisor_ab, key_count=key_count,
+                seed=args.seed, traffic_threads=threads or 4,
+                buffer_capacity=args.capacity or AB_CAPACITY,
             ),
             indent=1,
         )

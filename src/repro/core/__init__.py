@@ -4,6 +4,11 @@ from repro.core.config import RebuildConfig
 from repro.core.offline import OfflineReport, offline_rebuild, table_lock_resource
 from repro.core.propagation import PropagationEntry, PropOp
 from repro.core.rebuild import OnlineRebuild, RebuildReport
+from repro.core.supervisor import (
+    RebuildSupervisor,
+    SupervisorConfig,
+    SupervisorReport,
+)
 
 __all__ = [
     "OfflineReport",
@@ -12,6 +17,9 @@ __all__ = [
     "PropagationEntry",
     "RebuildConfig",
     "RebuildReport",
+    "RebuildSupervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
     "offline_rebuild",
     "table_lock_resource",
 ]

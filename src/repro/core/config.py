@@ -65,6 +65,22 @@ class RebuildConfig:
     loop under its own transaction.  Only a full rebuild parallelizes;
     range-restricted and incremental (``max_pages`` / ``resume_after``)
     runs always use the serial driver."""
+    log_progress: bool = True
+    """Emit a durable ``REBUILD_PROGRESS`` WAL record per committed batch
+    transaction (one small standalone record appended just before the
+    commit, so it rides the commit's flush — no extra physical flushes).
+    Recovery reconstructs a :class:`~repro.wal.recovery.RebuildCheckpoint`
+    from them so an interrupted rebuild resumes instead of restarting.
+    Range-restricted runs never log progress regardless of this flag."""
+    watchdog_timeout: float = 60.0
+    """Seconds without top-action progress before a worker is considered
+    stuck: the seam-handoff wait raises cleanly past this deadline, and
+    the :class:`~repro.core.supervisor.RebuildSupervisor` watchdog fails a
+    worker whose heartbeat is older than this."""
+    top_action_sleep: float = 0.0
+    """Seconds slept at every top-action boundary (0.0 = none).  The
+    supervisor's degradation ladder widens this at runtime to shed I/O and
+    lock pressure under a fault storm or an OLTP latency breach."""
     partition_exact_packing: bool = False
     """Restrict partition seams to *clean* cut points — leaf boundaries
     where the serial packing stream would open a fresh target page — so
@@ -102,6 +118,14 @@ class RebuildConfig:
         if self.io_retry_limit is not None and self.io_retry_limit < 0:
             raise RebuildError(
                 f"io_retry_limit must be >= 0, got {self.io_retry_limit}"
+            )
+        if self.watchdog_timeout <= 0.0:
+            raise RebuildError(
+                f"watchdog_timeout must be > 0, got {self.watchdog_timeout}"
+            )
+        if self.top_action_sleep < 0.0:
+            raise RebuildError(
+                f"top_action_sleep must be >= 0, got {self.top_action_sleep}"
             )
         if not 1 <= self.parallel_workers <= 64:
             raise RebuildError(

@@ -72,6 +72,7 @@ class CopyResult:
     resume_unit: bytes           # highest unit copied so far
     reached_end: bool            # Pn was the last leaf of the index
     next_leaf: int = NO_PAGE     # first source leaf of the next top action
+    low_unit: bytes = b""        # lowest unit copied (first unit of P1)
 
 
 class PositionLost(RebuildError):
@@ -281,6 +282,7 @@ def copy_multipage(
         new_ids[-1] if new_ids else (pp_id if pp_id != NO_PAGE else NO_PAGE)
     )
     resume_unit = sources[-1][1][-1] if sources[-1][1] else b""
+    low_unit = sources[0][1][0] if sources[0][1] else b""
     ctx.syncpoints.fire(
         "rebuild.copy_done", sources=list(old_ids), new_pages=list(new_ids)
     )
@@ -294,6 +296,7 @@ def copy_multipage(
         resume_unit=resume_unit,
         reached_end=next_after_run == NO_PAGE,
         next_leaf=next_after_run,
+        low_unit=low_unit,
     )
 
 

@@ -34,6 +34,7 @@ early and the driver simply launches fewer segments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.btree import node
 from repro.btree.tree import BTree
@@ -41,6 +42,9 @@ from repro.concurrency.latch import LatchMode
 from repro.context import EngineContext
 from repro.core.config import RebuildConfig
 from repro.storage.page import HEADER_SIZE, NO_PAGE, SLOT_OVERHEAD, PageType
+
+if TYPE_CHECKING:
+    from repro.wal.recovery import RebuildCheckpoint
 
 _CLEAN_WINDOW_FRACTION = 0.25
 """A clean boundary within this fraction of a segment's ideal weight wins
@@ -62,6 +66,70 @@ class PartitionSegment:
     """The seam at the segment's *start* is packing-exact (trivially true
     for the leftmost segment; always False for level-1 cuts, whose
     alignment is unknown)."""
+
+
+@dataclass(frozen=True)
+class ResumeSegment:
+    """One worker's launch spec — a segment plus where to restart in it.
+
+    Produced for fresh runs (probe = the segment start) and for resumed
+    runs (probe = the partition's highest durable unit, successor-probed),
+    so the parallel driver launches both through one code path.
+    """
+
+    ordinal: int
+    """Partition ordinal; also the worker's heartbeat key and the
+    ``partition`` field of its progress records."""
+    segment: PartitionSegment
+    probe: bytes | None
+    """First position-discovery probe (None = leftmost leaf)."""
+    progress_start: bytes
+    """Coverage start recorded in this worker's progress records (b"" =
+    the beginning of the index); inherited verbatim across resumes."""
+    done: bool = False
+    """The segment already finished — skip it, pre-complete its token."""
+
+
+def segments_from_checkpoint(
+    checkpoint: "RebuildCheckpoint",
+) -> list[ResumeSegment] | None:
+    """Reconstruct the recorded partition tiling from durable progress.
+
+    Returns None — caller replans from scratch — when the tiling cannot
+    be trusted to cover the whole key space: a partition ordinal with no
+    durable record (its range would silently be skipped), or a leftmost
+    partition that does not start at the beginning.
+    """
+    parts = checkpoint.partitions
+    if not parts:
+        return None
+    count = max(parts) + 1
+    if any(i not in parts for i in range(count)):
+        return None
+    if parts[0].start_unit != b"":
+        return None
+    specs: list[ResumeSegment] = []
+    for i in range(count):
+        part = parts[i]
+        start = part.start_unit if part.start_unit else None
+        stop = parts[i + 1].start_unit if i + 1 < count else None
+        segment = PartitionSegment(
+            # A resumed seam is never packing-exact territory: the worker
+            # either restarts past its own progress (its PP is a page it
+            # already rebuilt) or re-runs a dirty level-1 cut.
+            start_unit=start, stop_before=stop, clean_start=(i == 0),
+        )
+        probe = part.last_unit + b"\x00" if part.last_unit else start
+        specs.append(
+            ResumeSegment(
+                ordinal=i,
+                segment=segment,
+                probe=probe,
+                progress_start=part.start_unit,
+                done=part.done,
+            )
+        )
+    return specs
 
 
 @dataclass

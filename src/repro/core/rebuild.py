@@ -54,6 +54,7 @@ serial driver; an ordinary failure aborts that worker's transaction under
 from __future__ import annotations
 
 import threading
+import time
 
 from dataclasses import dataclass, field
 
@@ -69,14 +70,26 @@ from repro.concurrency.txn import Transaction
 from repro.context import EngineContext
 from repro.core.config import RebuildConfig
 from repro.core.copy_phase import PositionLost, copy_multipage
-from repro.core.partition import PartitionSegment, plan_partitions
+from repro.core.partition import (
+    PartitionSegment,
+    ResumeSegment,
+    plan_partitions,
+    segments_from_checkpoint,
+)
 from repro.core.propagation import PropagationState, run_propagation
 from repro.errors import RebuildAbortedError, RebuildError
 from repro.stats.counters import Timer
 from repro.storage.io_scheduler import CompletionToken, IOScheduler
 from repro.storage.page import NO_PAGE, PageFlag
 from repro.storage.page_manager import ChunkAllocator, PageState
-from repro.wal.records import RecordType
+from repro.wal.records import (
+    PROGRESS_COMPLETE,
+    PROGRESS_RUNNING,
+    PROGRESS_SEGMENT_DONE,
+    LogRecord,
+    RecordType,
+)
+from repro.wal.recovery import RebuildCheckpoint
 
 
 @dataclass
@@ -149,6 +162,55 @@ class OnlineRebuild:
         self.ctx: EngineContext = tree.ctx
         self.config = config if config is not None else RebuildConfig()
         self._scheduler: IOScheduler | None = None
+        # Supervision hooks (all idle unless a RebuildSupervisor drives
+        # this instance — the serial/no-supervisor defaults cost two
+        # attribute checks per top action and nothing else).
+        self.throttle_sleep: float = self.config.top_action_sleep
+        """Seconds slept at each top-action boundary; the supervisor's
+        monitor widens this at runtime to degrade gracefully."""
+        self.last_report: RebuildReport | None = None
+        """The report of the most recent ``run`` (kept current even when
+        the run raised — its ``resume_unit`` seeds a supervised retry)."""
+        self._gate = threading.Event()
+        self._gate.set()  # set = running; cleared = paused by the supervisor
+        self._beats: dict[int, float] = {}
+        """Partition ordinal → ``time.monotonic()`` of its last completed
+        top action (the supervisor watchdog's heartbeat source)."""
+        self._poison: BaseException | None = None
+        self._pool: _PoolState | None = None
+        self._epoch = 0
+        self._resume_seam = False
+        self._progress_enabled = False
+
+    # ------------------------------------------------------------ supervision
+
+    def fail(self, exc: BaseException) -> None:
+        """Fail the run cleanly from another thread (supervisor watchdog):
+        parallel runs go through the pool's first-error-wins channel;
+        serial runs raise at the next top-action boundary."""
+        pool = self._pool
+        if pool is not None:
+            pool.record_error(exc)
+        else:
+            self._poison = exc
+
+    def pause(self) -> None:
+        """Suspend the copy phase at the next top-action boundary (locks
+        and latches are never held across the gate)."""
+        self._gate.clear()
+
+    def unpause(self) -> None:
+        """Resume a paused copy phase."""
+        self._gate.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._gate.is_set()
+
+    def heartbeats(self) -> dict[int, float]:
+        """Snapshot of per-partition last-progress timestamps
+        (``time.monotonic()`` clock)."""
+        return dict(self._beats)
 
     def run(
         self,
@@ -156,6 +218,7 @@ class OnlineRebuild:
         end_key: bytes | None = None,
         max_pages: int | None = None,
         resume_after: bytes | None = None,
+        resume_checkpoint: RebuildCheckpoint | None = None,
     ) -> RebuildReport:
         """Rebuild the index online; returns a measurement report.
 
@@ -177,6 +240,16 @@ class OnlineRebuild:
         driver — for *full* rebuilds only.  Any of the restrictions above
         forces the serial driver (a restricted range is one segment
         already, and slice accounting is inherently sequential).
+
+        ``resume_checkpoint`` — a :class:`RebuildCheckpoint` recovered
+        from durable ``REBUILD_PROGRESS`` records — continues an
+        interrupted rebuild: the serial driver restarts after the
+        checkpoint's contiguous covered prefix, and the parallel driver
+        reconstructs the original partition tiling and restarts every
+        unfinished segment from its own highest durable unit.  A
+        checkpoint for another index, or one whose rebuild completed, is
+        ignored (the epoch check already happened at recovery: only the
+        highest epoch's records survive reconstruction).
         """
         tree, ctx, config = self.tree, self.ctx, self.config
         if getattr(tree, "_rebuild_active", False):
@@ -189,22 +262,49 @@ class OnlineRebuild:
             )
         if end_key is not None and len(end_key) != tree.key_len:
             raise RebuildError(f"end_key must be {tree.key_len} bytes")
+        if resume_checkpoint is not None and (
+            resume_checkpoint.completed
+            or resume_checkpoint.index_id != tree.index_id
+        ):
+            resume_checkpoint = None
+        use_parallel = config.parallel_workers > 1 and all(
+            v is None for v in (start_key, end_key, max_pages, resume_after)
+        )
+        if (
+            resume_checkpoint is not None
+            and not use_parallel
+            and resume_after is None
+            and start_key is None
+            and end_key is None
+        ):
+            # Serial resume: restart after the durable contiguous prefix.
+            resume_after = resume_checkpoint.resume_key()
+            resume_checkpoint = None
         self._start_unit = (
             resume_after + b"\x00"  # strictly after the last copied unit
             if resume_after is not None
             else (K.search_floor(start_key) if start_key is not None else None)
         )
+        # A resume probe never re-copies its seam leaf (see
+        # _discover_position); a start_key probe includes its boundary
+        # leaf whole.
+        self._resume_seam = resume_after is not None
         self._end_unit = (
             K.search_ceiling(end_key) if end_key is not None else None
         )
         self._max_pages = max_pages
-        use_parallel = config.parallel_workers > 1 and all(
-            v is None for v in (start_key, end_key, max_pages, resume_after)
+        # The epoch (the log's next LSN — unique and monotone even across
+        # crashes) stamps this run's progress records; recovery keeps only
+        # the highest epoch, which is the §7 "superseded rebuild" check.
+        self._epoch = ctx.log.next_lsn
+        self._progress_enabled = (
+            config.log_progress and start_key is None and end_key is None
         )
         tree._rebuild_active = True  # type: ignore[attr-defined]
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
         traversal = Traversal(ctx, tree)
         report = RebuildReport()
+        self.last_report = report  # kept current even when the run raises
         counters_before = ctx.counters.snapshot()
         log_before = ctx.log.usage_snapshot()
         timer = Timer()
@@ -229,9 +329,22 @@ class OnlineRebuild:
         try:
             with timer:
                 if use_parallel:
-                    self._drive_parallel(chunk_alloc, traversal, report)
+                    self._drive_parallel(
+                        chunk_alloc, traversal, report,
+                        checkpoint=resume_checkpoint,
+                    )
                 else:
                     self._drive(chunk_alloc, traversal, report)
+                if (
+                    self._progress_enabled
+                    and report.completed
+                    and not report.aborted
+                ):
+                    # Terminal marker: recovery must not resume this epoch.
+                    self._log_progress(
+                        0, b"", report.resume_unit or b"",
+                        PROGRESS_COMPLETE, flush=True,
+                    )
         finally:
             if self._scheduler is not None:
                 self._scheduler.close()
@@ -261,6 +374,8 @@ class OnlineRebuild:
         fill_pp_first: bool = True,
         seam_token: CompletionToken | None = None,
         pool: "_PoolState | None" = None,
+        partition: int = 0,
+        progress_start: bytes = b"",
     ) -> None:
         """The transaction loop; serial callers use only the first three
         arguments (and get today's behavior unchanged).  The parallel
@@ -271,13 +386,20 @@ class OnlineRebuild:
           content to the left-hand neighbor's packing;
         * ``seam_token`` — the left neighbor's completion token, waited on
           (briefly, repeatedly) when the seam PP is busy;
-        * ``pool`` — the shared stop/crash state of the worker pool.
+        * ``pool`` — the shared stop/crash state of the worker pool;
+        * ``partition`` / ``progress_start`` — the ordinal and recorded
+          coverage start stamped into this worker's progress records.
         """
         ctx, config = self.ctx, self.config
         probe: bytes | None = (
             start_probe if start_probe is not None else self._start_unit
         )
+        # Fresh-worker probes equal their segment's first-leaf unit, so
+        # the seam rule is inert for them; resume probes engage it.
+        seam = start_probe is not None or self._resume_seam
         filled_one = fill_pp_first
+        progress_logged: bytes | None = None
+        self._beats[partition] = time.monotonic()
         done = False
         while not done:
             txn = ctx.txns.begin()
@@ -293,6 +415,16 @@ class OnlineRebuild:
                         report.completed = False
                         done = True
                         break
+                    # Supervision hooks: a poisoned run fails at this
+                    # boundary (no locks or latches held), a throttled one
+                    # sleeps, and a paused one waits on the gate.
+                    if self._poison is not None:
+                        exc, self._poison = self._poison, None
+                        raise exc
+                    if self.throttle_sleep:
+                        time.sleep(self.throttle_sleep)
+                    if not self._gate.is_set():
+                        self._pause_wait(pool)
                     if (
                         self._max_pages is not None
                         and report.leaf_pages_rebuilt >= self._max_pages
@@ -300,7 +432,9 @@ class OnlineRebuild:
                         report.completed = False
                         done = True
                         break
-                    p1 = self._discover_position(txn, probe, stop_before)
+                    p1 = self._discover_position(
+                        txn, probe, stop_before, seam=seam
+                    )
                     if p1 is None:
                         done = True
                         break
@@ -325,7 +459,9 @@ class OnlineRebuild:
                     resume_unit, reached_end, rebuilt = outcome
                     report.resume_unit = resume_unit
                     probe = resume_unit + b"\x00"
+                    seam = True  # in-run probes are resume probes
                     pages_this_txn += rebuilt
+                    self._beats[partition] = time.monotonic()
                     done = reached_end
                     if (
                         self._end_unit is not None
@@ -359,6 +495,22 @@ class OnlineRebuild:
             ctx.syncpoints.fire(
                 "rebuild.txn_flushed", new_pages=list(txn_new_pages)
             )
+            if (
+                self._progress_enabled
+                and report.resume_unit is not None
+                and report.resume_unit != progress_logged
+            ):
+                # Durable progress: appended standalone (txn id 0) *after*
+                # the §3 force and *before* the commit record, so the
+                # commit's flush makes it durable for free and rollback /
+                # undo never see it.  Every NTA_END it summarizes precedes
+                # it in LSN order — prefix durability keeps it honest even
+                # if this commit record itself never reaches disk.
+                self._log_progress(
+                    partition, progress_start, report.resume_unit,
+                    PROGRESS_RUNNING,
+                )
+                progress_logged = report.resume_unit
             ctx.txns.commit(txn)
             report.pages_freed += self._free_deallocated_of(txn)
             report.transactions += 1
@@ -375,6 +527,7 @@ class OnlineRebuild:
         chunk_alloc: ChunkAllocator,
         traversal: Traversal,
         report: RebuildReport,
+        checkpoint: RebuildCheckpoint | None = None,
     ) -> None:
         """Partitioned parallel driver (full rebuilds only).
 
@@ -383,8 +536,25 @@ class OnlineRebuild:
         under its own transactions.  Falls back to the serial driver when
         the planner cannot produce more than one segment (tiny index, or
         the best-effort walk ended early under concurrent traffic).
+
+        With a ``checkpoint`` the original tiling is reconstructed from
+        the durable progress records instead of replanned: finished
+        segments are skipped outright, unfinished ones restart from their
+        own highest durable unit.  A checkpoint with a coverage gap (a
+        worker that never reported) falls back to a fresh plan — correct,
+        just not incremental.
         """
         ctx, config = self.ctx, self.config
+        resume: list[ResumeSegment] | None = (
+            segments_from_checkpoint(checkpoint)
+            if checkpoint is not None
+            else None
+        )
+        if resume is not None:
+            self._drive_parallel_resumed(
+                chunk_alloc, traversal, report, checkpoint, resume
+            )
+            return
         txn = ctx.txns.begin()
         try:
             first = self._leftmost_leaf(txn)
@@ -416,22 +586,83 @@ class OnlineRebuild:
         report.parallel_workers = nseg
         report.partition_segments = nseg
         report.partition_clean_cuts = plan.clean_cuts
-        tokens = [CompletionToken() for _ in plan.segments]
-        pool = _PoolState()
-        reports = [RebuildReport() for _ in plan.segments]
-        threads = [
-            threading.Thread(
-                target=self._worker_main,
-                args=(i, seg, tokens, pool, reports[i]),
-                name=f"rebuild-worker-{i}",
-                daemon=True,
+        specs = [
+            ResumeSegment(
+                ordinal=i,
+                segment=seg,
+                probe=seg.start_unit,
+                progress_start=seg.start_unit or b"",
+                done=False,
             )
             for i, seg in enumerate(plan.segments)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        self._launch_workers(specs, report)
+
+    def _drive_parallel_resumed(
+        self,
+        chunk_alloc: ChunkAllocator,
+        traversal: Traversal,
+        report: RebuildReport,
+        checkpoint: RebuildCheckpoint,
+        resume: list[ResumeSegment],
+    ) -> None:
+        """Relaunch the recorded tiling, skipping finished segments."""
+        ctx = self.ctx
+        nseg = len(resume)
+        report.parallel_workers = max(
+            1, sum(1 for spec in resume if not spec.done)
+        )
+        report.partition_segments = nseg
+        # Seed with the durable high-water mark so a fully-copied resume
+        # (every segment done, only the COMPLETE record missing) still
+        # reports an honest resume_unit.
+        report.resume_unit = max(
+            (
+                part.last_unit
+                for part in checkpoint.partitions.values()
+                if part.last_unit
+            ),
+            default=None,
+        )
+        ctx.syncpoints.fire(
+            "rebuild.partition.resumed",
+            segments=nseg,
+            pending=sum(1 for spec in resume if not spec.done),
+            epoch=checkpoint.epoch,
+        )
+        self._launch_workers(resume, report)
+
+    def _launch_workers(
+        self, specs: list[ResumeSegment], report: RebuildReport
+    ) -> None:
+        """Run one worker thread per unfinished spec and merge reports."""
+        ctx = self.ctx
+        tokens = [CompletionToken() for _ in specs]
+        pool = _PoolState()
+        reports = [RebuildReport() for _ in specs]
+        threads: list[threading.Thread] = []
+        for spec, token in zip(specs, tokens):
+            if spec.done:
+                # Finished segment: nothing to run; its right-hand
+                # neighbor must not wait on the seam.
+                token.complete()
+                continue
+            threads.append(
+                threading.Thread(
+                    target=self._worker_main,
+                    args=(spec, tokens, pool, reports[spec.ordinal]),
+                    name=f"rebuild-worker-{spec.ordinal}",
+                    daemon=True,
+                )
+            )
+        self._pool = pool
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            self._pool = None
         for sub in reports:
             report.leaf_pages_rebuilt += sub.leaf_pages_rebuilt
             report.new_leaf_pages += sub.new_leaf_pages
@@ -462,14 +693,14 @@ class OnlineRebuild:
 
     def _worker_main(
         self,
-        ordinal: int,
-        seg: PartitionSegment,
+        spec: ResumeSegment,
         tokens: list[CompletionToken],
         pool: _PoolState,
         report: RebuildReport,
     ) -> None:
-        """Body of one rebuild worker thread (segment ``ordinal``)."""
+        """Body of one rebuild worker thread (segment ``spec.ordinal``)."""
         ctx, config = self.ctx, self.config
+        ordinal, seg = spec.ordinal, spec.segment
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
         traversal = Traversal(ctx, self.tree)
         left_token = tokens[ordinal - 1] if ordinal > 0 else None
@@ -481,14 +712,32 @@ class OnlineRebuild:
             )
             self._drive(
                 chunk_alloc, traversal, report,
-                start_probe=seg.start_unit,
+                start_probe=spec.probe,
                 stop_before=seg.stop_before,
                 # The leftmost worker owns its first PP outright; every
-                # other worker's first PP is the left neighbor's seam page.
-                fill_pp_first=(ordinal == 0),
+                # other worker's first PP is the left neighbor's seam page
+                # — unless this worker resumes past durable progress of
+                # its own, in which case its first PP is a page it itself
+                # already rebuilt and packing it further is the standard
+                # serial-resume situation.
+                fill_pp_first=(ordinal == 0 or spec.probe != seg.start_unit),
                 seam_token=left_token,
                 pool=pool,
+                partition=ordinal,
+                progress_start=spec.progress_start,
             )
+            if (
+                self._progress_enabled
+                and report.completed
+                and not report.aborted
+            ):
+                # Durable (at the next flush) marker: this segment needs
+                # no further work even though the run as a whole may not
+                # have finished.
+                self._log_progress(
+                    ordinal, spec.progress_start,
+                    report.resume_unit or b"", PROGRESS_SEGMENT_DONE,
+                )
             ctx.syncpoints.fire(
                 "rebuild.partition.worker_done", worker=ordinal
             )
@@ -522,8 +771,15 @@ class OnlineRebuild:
         """Build the ``pp_busy_wait`` callable for a worker's seam top
         action: while the left neighbor still owns the seam PP, wait on
         its completion token (briefly, re-checking for a pool stop)
-        instead of camping in the lock manager's instant-wait loop."""
+        instead of camping in the lock manager's instant-wait loop.
+
+        The wait carries a deadline (``config.watchdog_timeout`` from the
+        first busy poll): if the left neighbor dies without completing its
+        token *and* without posting a pool crash/error, this worker fails
+        cleanly through the pool instead of hanging it forever."""
         ctx = self.ctx
+        timeout = self.config.watchdog_timeout
+        state = {"deadline": 0.0}
 
         def busy_wait() -> bool:
             if pool is not None and pool.crash is not None:
@@ -532,11 +788,59 @@ class OnlineRebuild:
                 # Left neighbor finished (or aborted and released its
                 # locks): the ordinary instant-lock wait takes over.
                 return False
+            now = time.monotonic()
+            if not state["deadline"]:
+                state["deadline"] = now + timeout
+            elif now >= state["deadline"]:
+                ctx.counters.add("seam_wait_timeouts")
+                raise RebuildError(
+                    "seam wait exceeded watchdog_timeout "
+                    f"({timeout:.1f}s) without the left neighbor "
+                    "completing its segment"
+                )
             ctx.counters.add("partition_seam_waits")
             token.wait_done(0.05)
             return True
 
         return busy_wait
+
+    # ------------------------------------------------------- progress logging
+
+    def _log_progress(
+        self,
+        partition: int,
+        start_unit: bytes,
+        last_unit: bytes,
+        state: int,
+        flush: bool = False,
+    ) -> None:
+        """Append one standalone ``REBUILD_PROGRESS`` record (txn id 0 —
+        invisible to rollback, analysis, and undo).  Only terminal records
+        flush explicitly; running records ride the next commit's flush."""
+        ctx = self.ctx
+        rec = LogRecord(
+            type=RecordType.REBUILD_PROGRESS,
+            index_id=self.tree.index_id,
+            epoch=self._epoch,
+            partition=partition,
+            progress_state=state,
+            start_unit=start_unit,
+            last_unit=last_unit,
+        )
+        lsn = ctx.log.append(rec)
+        ctx.counters.add("rebuild_progress_records")
+        if flush:
+            ctx.log.flush_to(lsn)
+
+    def _pause_wait(self, pool: "_PoolState | None") -> None:
+        """Block at a top-action boundary while the supervisor holds the
+        pause gate; pool stops and poisoning still cut the wait short."""
+        self.ctx.syncpoints.fire("rebuild.paused")
+        while not self._gate.wait(0.05):
+            if pool is not None and pool.stop.is_set():
+                return
+            if self._poison is not None:
+                return
 
     def _one_top_action(
         self,
@@ -609,6 +913,8 @@ class OnlineRebuild:
             "rebuild.nta_end",
             old_pages=list(result.old_pages),
             new_pages=list(result.new_pages),
+            low_unit=result.low_unit,
+            resume_unit=result.resume_unit,
         )
         return result.resume_unit, result.reached_end, len(result.old_pages)
 
@@ -619,12 +925,21 @@ class OnlineRebuild:
         txn: Transaction,
         probe: bytes | None,
         stop_before: bytes | None = None,
+        seam: bool = False,
     ) -> int | None:
         """Find the leaf holding the first unit >= ``probe`` (or the
         leftmost leaf when ``probe`` is None); None when past the end,
         past the requested range, or at/past the partition seam
         (``stop_before``, exclusive — a leaf whose first unit reaches it
         belongs to the right-hand worker).
+
+        ``seam`` marks a *resume* probe (``<copied unit> + b"\\x00"``):
+        every unit below it already sits in a rebuilt page, so a probe
+        leaf that still holds such units is the partially-filled seam
+        page — it must become the next top action's PP (continuing to
+        fill it), never its P1 (which would re-copy the units below the
+        probe).  A range-restricted ``start_key`` probe is the opposite
+        case: the boundary leaf is included whole.
 
         Position tracking is by key, never by page id, which makes the
         rebuild immune to concurrent splits/shrinks between top actions
@@ -643,7 +958,7 @@ class OnlineRebuild:
             probe, AccessMode.READER, 0, txn
         )
         pos, _found = node.leaf_search(leaf, probe, ctx.counters)
-        if pos < leaf.nrows:
+        if pos < leaf.nrows and not (seam and pos > 0):
             low = leaf.rows[pos]
             first = leaf.rows[0]
             leaf_id = leaf.page_id
@@ -655,6 +970,9 @@ class OnlineRebuild:
             if leaf_id == tree.root_page_id:
                 return None  # single-leaf tree: nothing to relocate
             return leaf_id
+        # Past this leaf's units — or (``seam``) parked on the rebuilt
+        # seam page, whose prefix below the probe is already copied: the
+        # next leaf is P1 and this one naturally becomes its PP.
         next_id = leaf.next_page
         ctx.release_page(leaf.page_id)
         if next_id == NO_PAGE:

@@ -22,7 +22,11 @@ from repro.errors import ReproError
 from repro.stats.counters import Counters
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageFlag
 from repro.wal.records import LogRecord, RecordType
-from repro.wal.recovery import RecoveryManager, RecoveryReport
+from repro.wal.recovery import (
+    RebuildCheckpoint,
+    RecoveryManager,
+    RecoveryReport,
+)
 
 
 class Engine:
@@ -61,6 +65,12 @@ class Engine:
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows
         self.indexes: dict[int, BTree] = {}
+        self.rebuild_checkpoints: dict[int, RebuildCheckpoint] = {}
+        """Index id → rebuild progress reconstructed by the last
+        :meth:`recover` (empty until then).  Pass one to
+        ``OnlineRebuild.run(resume_checkpoint=...)`` — or let
+        :class:`~repro.core.supervisor.RebuildSupervisor` do it — to
+        resume an interrupted rebuild instead of restarting it."""
 
     @classmethod
     def open(cls, storage_dir: str, **kwargs: object) -> "Engine":
@@ -123,6 +133,16 @@ class Engine:
 
     def index(self, index_id: int = 1) -> BTree:
         return self.indexes[index_id]
+
+    def rebuild_checkpoint(
+        self, index_id: int = 1
+    ) -> RebuildCheckpoint | None:
+        """Resumable rebuild progress for ``index_id`` recovered by the
+        last :meth:`recover` (None when there is nothing to resume)."""
+        ckpt = self.rebuild_checkpoints.get(index_id)
+        if ckpt is None or ckpt.completed:
+            return None
+        return ckpt
 
     # ------------------------------------------------------------- durability
 
@@ -196,6 +216,7 @@ class Engine:
             counters=self.ctx.counters,
         )
         report = manager.recover()
+        self.rebuild_checkpoints = dict(report.rebuild_checkpoints)
         self._clear_protocol_bits()
         self.indexes = {
             int(index_id): BTree(

@@ -155,3 +155,9 @@ class RebuildAbortedError(RebuildError):
     new pages, then free pages deallocated by completed top actions) runs
     before this is raised.
     """
+
+
+class RebuildWatchdogError(RebuildError):
+    """A rebuild worker made no top-action progress past the watchdog
+    deadline (``RebuildConfig.watchdog_timeout``) and was failed cleanly
+    by the supervisor instead of being left to hang."""

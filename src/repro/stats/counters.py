@@ -79,6 +79,14 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "partition_segments",        # segments actually launched (> 1 = parallel)
     "partition_clean_cuts",      # seams placed on packing-exact boundaries
     "partition_seam_waits",      # waits on a left neighbor's completion token
+    # Crash-resumable rebuild + supervision (wal/records.py, core/supervisor.py).
+    "rebuild_progress_records",  # durable REBUILD_PROGRESS records appended
+    "seam_wait_timeouts",        # seam waits abandoned at the watchdog deadline
+    "supervisor_retries",        # rebuild attempts retried after an abort
+    "supervisor_resumes",        # retries that resumed from durable/reported progress
+    "supervisor_gave_up",        # supervisors that exhausted their attempt budget
+    "supervisor_throttles",      # degradation actions (sleep widened / paused)
+    "watchdog_trips",            # workers failed for a stale heartbeat
 )
 
 _FIELD_SET = frozenset(COUNTER_FIELDS)

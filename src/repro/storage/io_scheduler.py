@@ -38,7 +38,6 @@ freed on the say-so of a force that did not complete.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 
 from repro.errors import IOSchedulerError, TransientIOError
@@ -327,7 +326,19 @@ class IOScheduler:
                 if attempt > _WRITER_RETRIES:
                     raise
                 self.counters.add("writebehind_retries")
-                time.sleep(_WRITER_BACKOFF * (1 << (attempt - 1)))
+                # Back off on the scheduler's condition variable, not a
+                # bare sleep: close()/kill() notify it, so shutdown cuts
+                # a storm's multi-attempt backoff short instead of being
+                # held hostage by it.
+                backoff = _WRITER_BACKOFF * (1 << (attempt - 1))
+                with self._cv:
+                    if not self._killed:
+                        self._cv.wait(timeout=backoff)
+                    if self._killed:
+                        raise IOSchedulerError(
+                            "io scheduler writer was killed during "
+                            "flush-retry backoff"
+                        ) from None
         shard = self.counters.local_shard()
         shard["writebehind_batches"] += 1
         shard["writebehind_pages"] += len(ids)

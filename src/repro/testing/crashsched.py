@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from repro.concurrency.syncpoints import CrashPoint
 from repro.core.config import RebuildConfig
 from repro.core.rebuild import OnlineRebuild
+from repro.core.supervisor import RebuildSupervisor
 from repro.engine import Engine
 from repro.errors import RebuildAbortedError
 from repro.storage.faults import FaultKind, FaultPlan, FaultSpec
@@ -93,6 +94,9 @@ class ScheduleOutcome:
     keyset_ok: bool = False
     retries: int = 0
     oltp_ops_applied: int = 0
+    resumed: bool = False
+    """A durable ``REBUILD_PROGRESS`` checkpoint existed after recovery
+    and the follow-up rebuild restarted from it (resume mode only)."""
     error: str | None = None
 
     @property
@@ -108,6 +112,9 @@ class SweepReport:
     crashes_simulated: int = 0
     recoveries_clean: int = 0
     retries_taken: int = 0
+    resumes_taken: int = 0
+    """Schedules whose follow-up rebuild restarted from a durable
+    ``REBUILD_PROGRESS`` checkpoint (resume mode only)."""
     failures: list[str] = field(default_factory=list)
     outcomes: list[ScheduleOutcome] = field(default_factory=list)
 
@@ -135,6 +142,7 @@ class CrashScheduleHarness:
         buffer_capacity: int = 2048,
         io_size: int = 8192,
         finish_after_recovery: bool = False,
+        resume_after_recovery: bool = False,
         parallel_workers: int = 1,
     ) -> None:
         self.key_count = key_count
@@ -149,6 +157,12 @@ class CrashScheduleHarness:
         self.finish_after_recovery = finish_after_recovery
         """Also re-run the rebuild to completion after each recovery and
         re-verify — proves restartability on every schedule (slower)."""
+        self.resume_after_recovery = resume_after_recovery
+        """Like ``finish_after_recovery``, but the follow-up rebuild goes
+        through :class:`RebuildSupervisor` with the recovered
+        ``REBUILD_PROGRESS`` checkpoint, and a ``rebuild.nta_end`` hook
+        asserts that no top action re-copies a unit at or below the
+        durable progress key — the PR 7 no-repaid-work guarantee."""
         self.parallel_workers = parallel_workers
         """> 1 crashes the partitioned parallel rebuild (see the module
         docstring on approximate replay ordinals under threads)."""
@@ -366,12 +380,14 @@ class CrashScheduleHarness:
             outcome.crashed = True
 
         try:
+            checkpoint = None
             if outcome.crashed:
                 engine.crash()
                 disarm = getattr(engine.ctx.disk, "disarm", None)
                 if disarm is not None:
                     disarm()
                 engine.recover()
+                checkpoint = engine.rebuild_checkpoint(1)
                 tree = engine.index(1)
             outcome.recovered = True
             tree.verify()
@@ -385,6 +401,14 @@ class CrashScheduleHarness:
                     f"key set diverged: missing={missing} extra={extra} "
                     f"(|expected|={len(expected)}, |got|={len(got)})"
                 )
+            elif outcome.crashed and self.resume_after_recovery:
+                self._finish_resumed(outcome, engine, tree, checkpoint)
+                got = {
+                    int.from_bytes(k, "big") for k, _rid in tree.contents()
+                }
+                if got != expected:
+                    outcome.keyset_ok = False
+                    outcome.error = "key set diverged after resumed rebuild"
             elif outcome.crashed and self.finish_after_recovery:
                 OnlineRebuild(tree, self._config()).run()
                 tree.verify()
@@ -397,6 +421,38 @@ class CrashScheduleHarness:
         except Exception as exc:  # noqa: BLE001 - report, don't propagate
             outcome.error = f"{type(exc).__name__}: {exc}"
         return outcome
+
+    def _finish_resumed(
+        self, outcome: ScheduleOutcome, engine: Engine, tree, checkpoint
+    ) -> None:
+        """Drive the interrupted rebuild to completion through the
+        supervisor, asserting the no-repaid-work guarantee: every top
+        action of the resumed run copies units strictly above the durable
+        progress floor (``RebuildCheckpoint.resume_key``).  Schedules that
+        crashed before any progress record became durable simply restart
+        from the first leaf (``checkpoint is None``) — still supervised,
+        with nothing to assert about the floor."""
+        floor = checkpoint.resume_key() if checkpoint is not None else None
+        violations: list[bytes] = []
+        if floor is not None:
+
+            def check_floor(ctx: dict) -> None:
+                low = ctx.get("low_unit") or b""
+                if low and low <= floor:
+                    violations.append(low)
+
+            engine.syncpoints.on("rebuild.nta_end", check_floor)
+        RebuildSupervisor(tree, self._config()).run(
+            resume_checkpoint=checkpoint
+        )
+        outcome.resumed = checkpoint is not None
+        tree.verify()
+        if violations:
+            outcome.keyset_ok = False
+            outcome.error = (
+                f"resumed rebuild re-copied {len(violations)} unit(s) at "
+                f"or below the durable progress floor {floor!r}"
+            )
 
     # ---------------------------------------------------------------- sweep
 
@@ -419,6 +475,7 @@ class CrashScheduleHarness:
             report.crashes_simulated += int(outcome.crashed)
             report.recoveries_clean += int(outcome.ok)
             report.retries_taken += outcome.retries
+            report.resumes_taken += int(outcome.resumed)
             report.outcomes.append(outcome)
             if not outcome.ok:
                 report.failures.append(

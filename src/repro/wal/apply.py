@@ -127,7 +127,7 @@ def redo_record(rec: LogRecord, ctx: ApplyContext) -> None:
         _redo_keycopy(rec, ctx)
     elif t is RecordType.CLR:
         _redo_clr(rec, ctx)
-    # TXN_*, NTA_*, CHECKPOINT have no page effects.
+    # TXN_*, NTA_*, CHECKPOINT, REBUILD_PROGRESS have no page effects.
 
 
 def _redo_alloc(rec: LogRecord, ctx: ApplyContext) -> None:
@@ -261,6 +261,10 @@ def apply_inverse(
         return
     if t is RecordType.KEYCOPY:
         _undo_keycopy(rec, ctx, stamp_lsn, ts_checked)
+        return
+    if t is RecordType.REBUILD_PROGRESS:
+        # Standalone (txn id 0) bookkeeping: rollback never reaches one,
+        # but tolerate it as a no-op rather than failing recovery.
         return
 
     if rec.flags & LEAF_ROW_FLAG:

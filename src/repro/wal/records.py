@@ -25,6 +25,10 @@ NTA_BEGIN / NTA_END  nested-top-action brackets; NTA_END is the dummy CLR
                      whose undo_next jumps over the completed action
 CLR                  compensation record written during rollback
 CHECKPOINT           page-manager snapshot + tree root (JSON)
+REBUILD_PROGRESS     rebuild epoch + partition ordinal + state + segment
+                     start key + last durably copied unit; appended
+                     standalone (txn id 0) just before each rebuild batch
+                     commit so the commit's flush makes it durable for free
 ===================  ========================================================
 
 Records encode to bytes (what the log "disk" stores) and decode losslessly;
@@ -79,6 +83,19 @@ class RecordType(enum.IntEnum):
     CHANGENEXTLINK = 16
     FORMAT = 17
     ALLOCRUN = 18
+    REBUILD_PROGRESS = 19
+
+
+PROGRESS_RUNNING = 0
+"""``REBUILD_PROGRESS`` state: units in ``(start_unit, last_unit]`` of this
+partition are durably copied (the record is appended just before the batch
+transaction's commit, after the §3 force, so prefix durability covers every
+NTA_END it summarizes)."""
+PROGRESS_SEGMENT_DONE = 1
+"""``REBUILD_PROGRESS`` state: this partition's whole segment is copied."""
+PROGRESS_COMPLETE = 2
+"""``REBUILD_PROGRESS`` state: the entire rebuild finished — recovery must
+not resume anything from this epoch."""
 
 
 @dataclass(slots=True)
@@ -151,6 +168,23 @@ class LogRecord:
     old_format: tuple[int, int, int, int] | None = None  # (type, level, prev, next)
     payload_json: dict | None = None
     undone_lsn: int = 0  # for CLR: the LSN this record compensates
+    # REBUILD_PROGRESS fields.  These records are appended *standalone*
+    # (txn_id 0, unchained) so rollback and undo never see them; a durable
+    # one is honest even if its batch transaction lost, because the NTA_ENDs
+    # it summarizes precede it in LSN order (prefix durability) and
+    # completed top actions are never undone.
+    epoch: int = 0
+    """Rebuild epoch (the log's next LSN when the run started — unique and
+    monotone even across crashes); recovery keeps only the highest."""
+    partition: int = 0
+    """Partition ordinal (0 for serial runs)."""
+    progress_state: int = 0
+    """One of PROGRESS_RUNNING / PROGRESS_SEGMENT_DONE / PROGRESS_COMPLETE."""
+    start_unit: bytes = b""
+    """First key this partition's coverage starts *after* (b"" = the very
+    beginning of the index — units are never empty)."""
+    last_unit: bytes = b""
+    """Highest unit durably copied by this partition so far."""
     resolved_undone: "LogRecord | None" = None
     """Transient (never serialized): during recovery, the decoded record a
     CLR compensates, resolved from ``undone_lsn`` by the recovery driver."""
@@ -195,6 +229,11 @@ class LogRecord:
         rec.old_format = None
         rec.payload_json = None
         rec.undone_lsn = 0
+        rec.epoch = 0
+        rec.partition = 0
+        rec.progress_state = 0
+        rec.start_unit = b""
+        rec.last_unit = b""
         rec.resolved_undone = None
         return rec
 
@@ -313,6 +352,19 @@ class LogRecord:
             ids = self.page_ids or [self.page_id]
             return struct.pack("<H", len(ids)) + b"".join(
                 struct.pack("<I", pid) for pid in ids
+            )
+        if t is RecordType.REBUILD_PROGRESS:
+            return (
+                struct.pack(
+                    "<QHBH",
+                    self.epoch,
+                    self.partition,
+                    self.progress_state,
+                    len(self.start_unit),
+                )
+                + self.start_unit
+                + struct.pack("<H", len(self.last_unit))
+                + self.last_unit
             )
         if t is RecordType.CHECKPOINT:
             return json.dumps(self.payload_json or {}).encode()
@@ -434,5 +486,18 @@ class LogRecord:
                 self.page_ids.append(pid)
             if self.page_ids and not self.page_id:
                 self.page_id = self.page_ids[0]
+        elif t is RecordType.REBUILD_PROGRESS:
+            (
+                self.epoch,
+                self.partition,
+                self.progress_state,
+                slen,
+            ) = struct.unpack_from("<QHBH", payload)
+            off = 13
+            self.start_unit = payload[off : off + slen]
+            off += slen
+            (llen,) = struct.unpack_from("<H", payload, off)
+            off += 2
+            self.last_unit = payload[off : off + llen]
         elif t is RecordType.CHECKPOINT:
             self.payload_json = json.loads(payload.decode()) if payload else {}

@@ -30,7 +30,65 @@ from repro.storage.buffer import BufferPool
 from repro.storage.page_manager import PageManager, PageState
 from repro.wal.apply import ApplyContext, redo_record, undo_record
 from repro.wal.log import LogManager
-from repro.wal.records import LogRecord, RecordType
+from repro.wal.records import (
+    PROGRESS_COMPLETE,
+    PROGRESS_SEGMENT_DONE,
+    LogRecord,
+    RecordType,
+)
+
+
+@dataclass
+class PartitionProgress:
+    """Durable copy progress of one rebuild partition (one worker)."""
+
+    start_unit: bytes = b""
+    """The segment's coverage starts strictly after this key (b"" = the
+    very beginning of the index)."""
+    last_unit: bytes = b""
+    """Highest unit the partition durably copied."""
+    done: bool = False
+    """The partition finished its whole segment."""
+
+
+@dataclass
+class RebuildCheckpoint:
+    """Rebuild progress reconstructed from durable ``REBUILD_PROGRESS``
+    records of the *highest* epoch (older epochs describe a superseded
+    rebuild and are discarded)."""
+
+    epoch: int
+    index_id: int
+    completed: bool = False
+    """A ``PROGRESS_COMPLETE`` record exists: nothing to resume."""
+    partitions: dict[int, PartitionProgress] = field(default_factory=dict)
+    """Partition ordinal → its durable progress."""
+
+    def resume_key(self) -> bytes | None:
+        """Highest key with *contiguous* durable coverage from the start
+        of the index: every unit at or below it was copied, so a serial
+        resume may pass it as ``resume_after``.  None means no usable
+        prefix (nothing durable, or partition 0 never reported).
+
+        Partitions tile the key space contiguously in ordinal order (each
+        segment's ``stop_before`` is its right neighbor's ``start_unit``),
+        so the walk extends coverage partition by partition and stops at
+        the first one that has not finished — or at a gap, an ordinal that
+        never got a durable record."""
+        if self.completed or not self.partitions:
+            return None
+        covered: bytes | None = None
+        for ordinal in range(max(self.partitions) + 1):
+            part = self.partitions.get(ordinal)
+            if part is None:
+                return covered  # gap: a worker never reported
+            if ordinal == 0 and part.start_unit != b"":
+                return None  # coverage does not reach the beginning
+            if part.last_unit and (covered is None or part.last_unit > covered):
+                covered = part.last_unit
+            if not part.done:
+                return covered
+        return covered
 
 
 @dataclass
@@ -43,6 +101,17 @@ class RecoveryReport:
     loser_txns: list[int] = field(default_factory=list)
     pages_freed: list[int] = field(default_factory=list)
     index_meta: dict = field(default_factory=dict)
+    rebuild_checkpoints: dict[int, RebuildCheckpoint] = field(
+        default_factory=dict
+    )
+    """Index id → reconstructed rebuild progress (highest epoch only)."""
+
+    @property
+    def rebuild_checkpoint(self) -> RebuildCheckpoint | None:
+        """The sole (lowest-index-id) rebuild checkpoint, or None."""
+        if not self.rebuild_checkpoints:
+            return None
+        return self.rebuild_checkpoints[min(self.rebuild_checkpoints)]
 
 
 class RecoveryManager:
@@ -67,6 +136,7 @@ class RecoveryManager:
         report = RecoveryReport()
         records = list(self.log.scan(durable_only=True))
         checkpoint = self._analysis(records, report)
+        self._rebuild_progress(records, report)
         self._redo(records, checkpoint_lsn=report.checkpoint_lsn, report=report)
         self._undo(records, report)
         self._reclaim_phantom_allocations(report)
@@ -109,6 +179,44 @@ class RecoveryManager:
                 }
             )
         return checkpoint
+
+    # ----------------------------------------------------------- rebuild resume
+
+    def _rebuild_progress(
+        self, records: list[LogRecord], report: RecoveryReport
+    ) -> None:
+        """Reconstruct per-index :class:`RebuildCheckpoint`\\ s.
+
+        Only the highest epoch per index counts — a later rebuild
+        supersedes an earlier one, and epochs (the log's next LSN at run
+        start) are strictly monotone even across crashes.  Records are
+        standalone (txn id 0), appended after the batch's §3 force and
+        before its commit, so every durable one is honest regardless of
+        whether its transaction turned out to be a loser: the NTA_ENDs it
+        summarizes are durable (prefix durability) and completed top
+        actions are never undone."""
+        for rec in records:
+            if rec.type is not RecordType.REBUILD_PROGRESS:
+                continue
+            ckpt = report.rebuild_checkpoints.get(rec.index_id)
+            if ckpt is None or rec.epoch > ckpt.epoch:
+                ckpt = RebuildCheckpoint(epoch=rec.epoch, index_id=rec.index_id)
+                report.rebuild_checkpoints[rec.index_id] = ckpt
+            elif rec.epoch < ckpt.epoch:
+                continue  # superseded rebuild
+            if rec.progress_state == PROGRESS_COMPLETE:
+                ckpt.completed = True
+                ckpt.partitions.clear()
+                continue
+            part = ckpt.partitions.get(rec.partition)
+            if part is None:
+                part = ckpt.partitions[rec.partition] = PartitionProgress(
+                    start_unit=rec.start_unit
+                )
+            if rec.last_unit and rec.last_unit > part.last_unit:
+                part.last_unit = rec.last_unit
+            if rec.progress_state == PROGRESS_SEGMENT_DONE:
+                part.done = True
 
     # ------------------------------------------------------------------- redo
 

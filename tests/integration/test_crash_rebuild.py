@@ -90,3 +90,59 @@ def test_double_crash_during_recovery_cycle():
     index = engine.index(1)
     assert contents_as_ints(index) == expected
     index.verify()
+
+
+def test_crash_then_supervised_resume_skips_copied_units():
+    """PR 7's crash-resume contract end to end: crash mid-rebuild, recover
+    the durable ``REBUILD_PROGRESS`` checkpoint, and let the supervisor
+    resume — completing the rebuild without re-copying any unit at or
+    below the durable floor."""
+    from repro import RebuildSupervisor
+    from repro.core.supervisor import SupervisorConfig
+
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    make_half_empty(index, 4000)
+    expected = contents_as_ints(index)
+    count = {"n": 0}
+
+    def boom(ctx):
+        count["n"] += 1
+        if count["n"] == 2:
+            raise CrashPoint("mid")
+
+    engine.syncpoints.on("rebuild.txn_committed", boom)
+    with pytest.raises(CrashPoint):
+        OnlineRebuild(index, RebuildConfig(ntasize=4, xactsize=8)).run()
+    engine.crash()
+    engine.syncpoints.clear()
+    engine.recover()
+    checkpoint = engine.rebuild_checkpoint(1)
+    assert checkpoint is not None, "no durable progress after 2 commits"
+    floor = checkpoint.resume_key()
+    assert floor is not None
+    violations = []
+
+    def check(ctx):
+        low = ctx.get("low_unit") or b""
+        if low and low <= floor:
+            violations.append(low)
+
+    engine.syncpoints.on("rebuild.nta_end", check)
+    index = engine.index(1)
+    report = RebuildSupervisor(
+        index,
+        RebuildConfig(ntasize=4, xactsize=8),
+        SupervisorConfig(retry_backoff=0.001),
+    ).run(resume_checkpoint=checkpoint)
+    assert report.final.completed
+    assert report.resumes == 1
+    assert violations == [], "resumed rebuild repaid already-durable work"
+    assert contents_as_ints(index) == expected
+    stats = index.verify()
+    assert stats.leaf_fill > 0.9
+    # The resumed run logged its own terminal record: a fresh recovery
+    # finds nothing left to resume.
+    engine.crash()
+    engine.recover()
+    assert engine.rebuild_checkpoint(1) is None

@@ -229,3 +229,35 @@ def test_depth_bounds_queued_hints():
     sched.prefetch_chain(2, 1)
     sched.prefetch_chain(1, 1)  # oldest hint dropped
     assert len(sched._prefetches) == 2
+
+
+def test_kill_cuts_flush_retry_backoff_short(monkeypatch):
+    """A transient-fault storm parks the writer in capped-exponential
+    backoff between flush retries; shutdown must interrupt that wait
+    (via the scheduler's condition variable), not sit out the full
+    backoff."""
+    import repro.storage.io_scheduler as mod
+    from repro.errors import TransientIOError
+
+    pool, counters = make_pool()
+    dirty_pages(pool, [1, 2])
+    monkeypatch.setattr(mod, "_WRITER_BACKOFF", 30.0)
+
+    def always_transient(ids):
+        raise TransientIOError("storm")
+
+    monkeypatch.setattr(pool, "flush_pages", always_transient)
+    sched = IOScheduler(pool, counters=counters).start()
+    token = sched.force([1, 2])
+    # Wait for the writer to enter its first retry backoff.
+    deadline = time.monotonic() + 5.0
+    while counters.writebehind_retries == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert counters.writebehind_retries >= 1
+    start = time.monotonic()
+    sched.kill()
+    with pytest.raises(IOSchedulerError):
+        token.wait(timeout=5.0)
+    assert time.monotonic() - start < 5.0, (
+        "kill() waited out the 30 s flush-retry backoff"
+    )

@@ -111,3 +111,63 @@ def test_parallel_sweep_rebuild_finishes_after_recovery():
     ]
     report = harness.run_sweep(schedules=schedules)
     assert report.ok, _fail_report(report)
+
+
+# ------------------------------------------------------ resumable rebuild
+
+
+def test_resume_sweep_strided():
+    """Crash → recover → *resume* (not restart): the supervised follow-up
+    rebuild starts from the recovered ``REBUILD_PROGRESS`` checkpoint and
+    must never re-copy a unit at or below the durable floor."""
+    harness = CrashScheduleHarness(
+        key_count=2000, seed=11, resume_after_recovery=True
+    )
+    schedules = harness.enumerate_schedules(include_faults=False)
+    report = harness.run_sweep(schedules=schedules, stride=3)
+    assert report.schedules_run > 0
+    assert report.ok, _fail_report(report)
+    assert report.resumes_taken > 0, (
+        "no schedule produced a durable checkpoint — resume path untested"
+    )
+
+
+@pytest.mark.slow
+def test_exhaustive_resume_sweep_all_schedules():
+    """Every syncpoint crash and every injected-fault site, each followed
+    by a supervised resume asserting the no-repaid-work guarantee."""
+    harness = CrashScheduleHarness(
+        key_count=2000, seed=11, resume_after_recovery=True
+    )
+    report = harness.run_sweep()
+    assert report.schedules_run >= 30, "schedule enumeration shrank"
+    assert report.ok, _fail_report(report)
+    assert report.resumes_taken > 0
+
+
+@pytest.mark.slow
+def test_parallel_exhaustive_resume_sweep():
+    """The 2-worker driver, crashed at every syncpoint, then resumed in
+    parallel from the reconstructed per-partition segments."""
+    harness = CrashScheduleHarness(
+        key_count=2000, seed=11, parallel_workers=2,
+        resume_after_recovery=True,
+    )
+    report = harness.run_sweep(
+        schedules=harness.enumerate_schedules(include_faults=False)
+    )
+    assert report.ok, _fail_report(report)
+    assert report.resumes_taken > 0
+
+
+@pytest.mark.skipif(
+    "REPRO_FAULT_SEED" not in os.environ,
+    reason="randomized smoke runs only when REPRO_FAULT_SEED is set",
+)
+def test_randomized_resume_schedule_smoke():
+    seed = int(os.environ["REPRO_FAULT_SEED"])
+    outcome = run_random_schedule(seed, resume_after_recovery=True)
+    assert outcome.ok, (
+        f"random resume schedule failed (replay with REPRO_FAULT_SEED="
+        f"{seed}): {outcome.schedule}: {outcome.error}"
+    )

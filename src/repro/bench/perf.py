@@ -72,6 +72,26 @@ WORKERS_AB_CAPACITY = 768
 WORKERS_AB_LATENCY = 0.003
 WORKERS_AB_WORKERS = 4
 
+# The pool A/B scenario (issue 8): the pool holds a fraction of the
+# fragmented index, so the rebuild's leaf-chain scan (plus read-ahead)
+# competes with the mixed workload for frames.  The treatment side caps
+# the scan's footprint at ``ring_frames`` probationary frames and
+# stripes the frame table so the workers and the OLTP threads stop
+# serialising on one pool mutex.  At ``POOL_AB_KEYS`` the rebuild
+# touches ~3x the pool's capacity in distinct pages, so *neither* side
+# can cache its way through the scan: the unbounded baseline churns the
+# foreground's frames (``hot_evictions_by_scan``), the ring recycles
+# its own.  A smaller index would fit the pool whole and hand the
+# baseline a free ride — every page cached after first touch — which
+# measures the pool's size, not the replacement policy.
+POOL_AB_CAPACITY = 512
+POOL_AB_KEYS = 100_000
+POOL_AB_RING = 256
+POOL_AB_SHARDS = 8
+POOL_AB_HOT_KEYS = 5_000
+POOL_AB_LATENCY = 0.003
+POOL_AB_THINK = 0.05
+
 
 @dataclass
 class PerfResult:
@@ -125,6 +145,10 @@ def run_scenario(
     io_latency: float = 0.0,
     log_progress: bool = True,
     supervised: bool = False,
+    pool_shards: int = 1,
+    ring_frames: int = 0,
+    hot_keys: int = 0,
+    think_time: float = 0.0,
 ) -> PerfResult:
     """Build, fragment, and online-rebuild an index; return all timings.
 
@@ -144,6 +168,15 @@ def run_scenario(
     code path, used as the A/B baseline); ``supervised`` wraps the
     rebuild in a default-policy :class:`RebuildSupervisor` with its
     monitor thread watching heartbeats and OLTP latency.
+    ``pool_shards`` stripes the buffer pool's frame table (issue 8);
+    ``ring_frames`` bounds the rebuild's cache footprint to a
+    probationary ring for the rebuild's duration (0 = plain LRU).
+    ``hot_keys > 0`` points the mixed workload at a second, small
+    index of that many keys instead of the one being rebuilt — the
+    paper's availability claim is about *other* data staying cached
+    while an index rebuilds, so the pool A/B measures the foreground
+    hit rate on a working set the rebuild's scan has no business
+    evicting.
     """
     result = PerfResult(
         config={
@@ -161,11 +194,14 @@ def run_scenario(
             "io_latency": io_latency,
             "log_progress": log_progress,
             "supervised": supervised,
+            "pool_shards": pool_shards,
+            "ring_frames": ring_frames,
         }
     )
     engine = Engine(
         buffer_capacity=buffer_capacity, io_size=io_size, lock_timeout=120.0,
         checksums=checksums, io_latency=io_latency,
+        pool_shards=pool_shards,
     )
     rnd = random.Random(seed)
 
@@ -191,18 +227,34 @@ def run_scenario(
 
     _phase(result, "fragment", engine, fragment)
 
+    # Optional second index: the foreground working set the rebuild's
+    # scan should leave alone (issue 8 pool A/B).
+    hot_tree = None
+    if hot_keys > 0:
+        hot_even = [int4_key(i) for i in range(0, hot_keys, 2)]
+        hot_tree = bulk_load(engine, hot_even, INT4_KEY_LEN, fill=0.9)
+        for i in range(1, hot_keys, 2):
+            hot_tree.insert(int4_key(i), i)
+        result.config["hot_keys"] = hot_keys
+
     # Phase 3: online rebuild (ntasize 32) under concurrent OLTP traffic.
     if cold_rebuild:
         engine.ctx.buffer.evict_all()
+    if hot_tree is not None:
+        # Warm the foreground working set (outside the timed phase) so
+        # the measured misses are evictions, not compulsory first reads.
+        for i in range(hot_keys):
+            hot_tree.lookup(int4_key(i))
     workload = None
     if traffic_threads > 0:
         workload = MixedWorkload(
-            tree,
+            hot_tree if hot_tree is not None else tree,
             int4_key,
-            key_count,
+            hot_keys if hot_tree is not None else key_count,
             threads=traffic_threads,
             write_fraction=0.8,
             seed=seed,
+            think_time=think_time,
         )
 
     def rebuild():
@@ -215,6 +267,7 @@ def run_scenario(
                 group_commit_window=group_commit_window,
                 parallel_workers=parallel_workers,
                 log_progress=log_progress,
+                ring_frames=ring_frames,
             )
             if supervised:
                 return RebuildSupervisor(
@@ -673,6 +726,186 @@ def run_supervisor_ab(
     }
 
 
+def _pool_metrics(result: PerfResult) -> dict:
+    """The rebuild-phase numbers the pool A/B compares (issue 8)."""
+    out = _rebuild_metrics(result)
+    counters = result.phases["rebuild"]["counters"]
+    hits = counters.get("pool_demand_hits", 0)
+    misses = counters.get("pool_demand_misses", 0)
+    out["pool"] = {
+        "demand_hits": hits,
+        "demand_misses": misses,
+        "demand_hit_rate": round(hits / max(hits + misses, 1), 4),
+        "ring_admits": counters.get("ring_admits", 0),
+        "ring_promotions": counters.get("ring_promotions", 0),
+        "hot_evictions_by_scan": counters.get("hot_evictions_by_scan", 0),
+        "shard_conflicts": counters.get("pool_shard_conflicts", 0),
+    }
+    return out
+
+
+def run_pool_ab(
+    rounds: int = 3,
+    key_count: int = POOL_AB_KEYS,
+    seed: int = 42,
+    traffic_threads: int = 4,
+    buffer_capacity: int = POOL_AB_CAPACITY,
+    ring_frames: int = POOL_AB_RING,
+    pool_shards: int = POOL_AB_SHARDS,
+    hot_keys: int = POOL_AB_HOT_KEYS,
+    io_latency: float = POOL_AB_LATENCY,
+    think_time: float = POOL_AB_THINK,
+) -> dict:
+    """Scan-resistant / striped pool A/B; returns the ``BENCH_PR8.json``
+    payload.
+
+    Two parts per round, interleaved:
+
+    * **under_traffic** — cold rebuild on a pressured pool with the
+      mixed workload hammering a *separate* ``hot_keys``-key index whose
+      working set fits the pool (the paper's availability claim is about
+      other data staying served while an index rebuilds).  Simulated
+      per-call device latency makes the scenario I/O-bound, so a
+      foreground miss has a real price and the rebuild's wall clock
+      reflects its (identical) I/O rather than GIL scheduling.
+      Baseline is
+      the PR 7 configuration (single shard, ring disabled — the
+      rebuild's scan competes with the foreground working set
+      frame-for-frame); treatment caps the scan at ``ring_frames``
+      probationary frames and stripes the frame table across
+      ``pool_shards`` shards.  The headline is the OLTP demand hit rate
+      *during* the rebuild; p95/p99 foreground latency and the
+      rebuild's own wall clock are the no-regression bars (p99 no
+      worse, wall within 5%).
+    * **serial_defaults** (guard, twice per round) — the issue 3 serial
+      pipelined scenario with default knobs (one shard, no ring).  The
+      two interleaved runs give a same-config repeat delta: the bar is
+      that the defaults cost nothing, i.e. the config is indistinguish-
+      able from its own rerun (<2%, the noise floor).
+    """
+    sides = (
+        ("baseline", {"pool_shards": 1, "ring_frames": 0}),
+        ("pool", {"pool_shards": pool_shards, "ring_frames": ring_frames}),
+    )
+    pairs = []
+    for n in range(1, rounds + 1):
+        entry: dict = {"pair": n}
+        for label, kw in sides:
+            r = run_scenario(
+                key_count=key_count, seed=seed,
+                traffic_threads=traffic_threads,
+                buffer_capacity=buffer_capacity, cold_rebuild=True,
+                pipeline_depth=AB_PIPELINE_DEPTH,
+                group_commit_window=AB_GROUP_COMMIT_WINDOW,
+                hot_keys=hot_keys, io_latency=io_latency,
+                think_time=think_time, **kw,
+            )
+            entry.setdefault("under_traffic", {})[label] = _pool_metrics(r)
+        for guard in ("serial_defaults_a", "serial_defaults_b"):
+            r = run_scenario(
+                key_count=key_count, seed=seed, traffic_threads=0,
+                buffer_capacity=AB_CAPACITY, cold_rebuild=True,
+                pipeline_depth=AB_PIPELINE_DEPTH,
+            )
+            entry[guard] = _rebuild_metrics(r)
+        pairs.append(entry)
+
+    def best(side: str, metric: str) -> float:
+        return min(p["under_traffic"][side][metric] for p in pairs)
+
+    def pool_best(side: str, metric: str, lo: bool = True) -> float:
+        vals = [p["under_traffic"][side]["pool"][metric] for p in pairs]
+        return min(vals) if lo else max(vals)
+
+    def p99(side: str) -> float:
+        return min(
+            p["under_traffic"][side]["oltp_latency_ms"]["all"]["p99"]
+            for p in pairs
+        )
+
+    base_wall = best("baseline", "wall_seconds")
+    pool_wall = best("pool", "wall_seconds")
+    guard_a = min(p["serial_defaults_a"]["wall_seconds"] for p in pairs)
+    guard_b = min(p["serial_defaults_b"]["wall_seconds"] for p in pairs)
+    summary = {
+        "oltp_demand_hit_rate": {
+            "baseline_max": pool_best("baseline", "demand_hit_rate", lo=False),
+            "pool_max": pool_best("pool", "demand_hit_rate", lo=False),
+        },
+        "oltp_latency_p99_ms": {
+            "baseline_min": p99("baseline"),
+            "pool_min": p99("pool"),
+        },
+        "rebuild_wall_seconds": {
+            "baseline_min": base_wall,
+            "pool_min": pool_wall,
+            "delta_percent": round(
+                (pool_wall - base_wall) / max(base_wall, 1e-9) * 100.0, 2
+            ),
+        },
+        "hot_evictions_by_scan": {
+            "baseline": pool_best("baseline", "hot_evictions_by_scan"),
+            "pool": pool_best("pool", "hot_evictions_by_scan", lo=False),
+        },
+        "shard_conflicts_max": {
+            "baseline": pool_best("baseline", "shard_conflicts", lo=False),
+            "pool": pool_best("pool", "shard_conflicts", lo=False),
+        },
+        "serial_defaults_wall_seconds": {
+            "a_min": guard_a,
+            "b_min": guard_b,
+            "repeat_delta_percent": round(
+                abs(guard_a - guard_b) / max(min(guard_a, guard_b), 1e-9)
+                * 100.0,
+                2,
+            ),
+        },
+        # Deterministic guard evidence, immune to wall-clock noise: the
+        # default-knob scenario must do identical physical work run to
+        # run (and zero ring traffic — the machinery is provably off).
+        "serial_defaults_disk_io_calls": {
+            "a_min": min(
+                p["serial_defaults_a"]["disk_io_calls"] for p in pairs
+            ),
+            "b_min": min(
+                p["serial_defaults_b"]["disk_io_calls"] for p in pairs
+            ),
+        },
+    }
+    return {
+        "benchmark": (
+            "benchmarks/run_perf.py --pool-ab: cold pressured rebuild "
+            f"({key_count} keys, {buffer_capacity}-frame pool, "
+            f"{io_latency * 1000:.1f}ms/call simulated device latency) "
+            f"under a "
+            f"{traffic_threads}-thread mixed workload on a separate "
+            f"{hot_keys}-key hot index, single-shard "
+            "ring-off pool (the PR 7 behaviour) vs ring_frames="
+            f"{ring_frames} / pool_shards={pool_shards}; plus the issue 3 "
+            f"serial pipelined guard ({AB_CAPACITY}-frame pool, default "
+            "knobs) run twice per round for a same-config repeat delta"
+        ),
+        "methodology": (
+            "Interleaved A/B on the same seeded scenario and host; minima "
+            "across rounds are compared for times (noise is additive), "
+            "maxima for hit rates. Simulated device latency sleeps "
+            "outside locks per physical call, so misses cost what they "
+            "would on a disk and wall clock is I/O-bound, not "
+            "GIL-scheduling-bound. All rebuild-side fetches are tagged "
+            "scan-class, so pool_demand_hits/misses during the rebuild "
+            "phase count only foreground OLTP fetches — the hit rate is "
+            "the foreground's view of the cache while the scan runs. "
+            "hot_evictions_by_scan on the treatment side is the scan's "
+            "entire toll on the protected region (bounded by ring_frames, "
+            "paid once while the ring grows)."
+        ),
+        "ring_frames": ring_frames,
+        "pool_shards": pool_shards,
+        "pairs": pairs,
+        "summary": summary,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the repo's perf-trajectory scenario and emit JSON."
@@ -740,6 +973,21 @@ def main(argv: list[str] | None = None) -> int:
              "emitting the BENCH_PR7.json payload",
     )
     parser.add_argument(
+        "--pool-ab", type=int, metavar="N", default=0,
+        help="interleaved buffer-pool A/B (ring+shards vs plain LRU): N "
+             "rounds, emitting the BENCH_PR8.json payload",
+    )
+    parser.add_argument(
+        "--ring-frames", type=int, default=0,
+        help="probationary ring frames for the rebuild's cache footprint "
+             f"(pool A/B defaults to {POOL_AB_RING})",
+    )
+    parser.add_argument(
+        "--pool-shards", type=int, default=1,
+        help="buffer-pool lock stripes "
+             f"(pool A/B defaults to {POOL_AB_SHARDS})",
+    )
+    parser.add_argument(
         "--io-latency", type=float, default=0.0,
         help="simulated per-physical-call device latency in seconds "
              f"(workers A/B defaults to {WORKERS_AB_LATENCY})",
@@ -784,6 +1032,23 @@ def main(argv: list[str] | None = None) -> int:
             ),
             indent=1,
         )
+    elif args.pool_ab:
+        # The pool A/B needs an index larger than the pressured pool
+        # (see POOL_AB_KEYS); --keys and --quick still override.
+        pool_keys = args.keys or (QUICK_KEYS if args.quick else POOL_AB_KEYS)
+        payload = json.dumps(
+            run_pool_ab(
+                rounds=args.pool_ab, key_count=pool_keys, seed=args.seed,
+                traffic_threads=threads or 4,
+                buffer_capacity=args.capacity or POOL_AB_CAPACITY,
+                ring_frames=args.ring_frames or POOL_AB_RING,
+                pool_shards=(
+                    args.pool_shards if args.pool_shards > 1
+                    else POOL_AB_SHARDS
+                ),
+            ),
+            indent=1,
+        )
     elif args.supervisor_ab:
         payload = json.dumps(
             run_supervisor_ab(
@@ -805,6 +1070,8 @@ def main(argv: list[str] | None = None) -> int:
             checksums=checksums,
             parallel_workers=args.workers,
             io_latency=args.io_latency,
+            pool_shards=args.pool_shards,
+            ring_frames=args.ring_frames,
         )
         payload = result.to_json()
     else:
@@ -814,6 +1081,8 @@ def main(argv: list[str] | None = None) -> int:
             checksums=checksums,
             parallel_workers=args.workers,
             io_latency=args.io_latency,
+            pool_shards=args.pool_shards,
+            ring_frames=args.ring_frames,
         )
         payload = result.to_json()
     if args.json == "-":

@@ -405,11 +405,17 @@ def _finish_nta(ctx: EngineContext, txn: Transaction, cleanup: list[int]) -> Non
 
 
 def clear_protocol_bits(
-    ctx: EngineContext, txn: Transaction, pages: list[int]
+    ctx: EngineContext, txn: Transaction, pages: list[int],
+    scan: bool = False,
 ) -> None:
-    """Clear SPLIT/SHRINK/OLDPGOFSPLIT bits and drop the X address locks."""
+    """Clear SPLIT/SHRINK/OLDPGOFSPLIT bits and drop the X address locks.
+
+    ``scan=True`` marks the fetches scan-class for the buffer pool (the
+    rebuild clearing bits on its own run of source pages); the B+-tree's
+    split/shrink callers use the default.
+    """
     for page_id in pages:
-        page = ctx.get_latched(page_id, LatchMode.X)
+        page = ctx.get_latched(page_id, LatchMode.X, scan=scan)
         page.clear_flag(PageFlag.SPLIT)
         page.clear_flag(PageFlag.SHRINK)
         page.clear_side_entry()

@@ -40,11 +40,19 @@ class AccessMode(enum.Enum):
 class Traversal:
     """A reusable traversal with remembered-path retraversal."""
 
-    def __init__(self, ctx: EngineContext, tree: "object") -> None:
+    def __init__(
+        self, ctx: EngineContext, tree: "object", scan: bool = False
+    ) -> None:
         """``tree`` supplies ``root_page_id`` and ``index_id`` attributes
-        (kept live so a root level change is always observed)."""
+        (kept live so a root level change is always observed).
+
+        ``scan`` marks every page this traversal touches as scan-class
+        for buffer replacement: the rebuild's own descents must recycle
+        the rebuild ring instead of displacing the OLTP working set.
+        """
         self.ctx = ctx
         self.tree = tree
+        self.scan = scan
         self._path: list[tuple[int, int]] = []  # (page_id, level), root first
 
     # ------------------------------------------------------------------ drive
@@ -86,7 +94,7 @@ class Traversal:
                     else LatchMode.S
                 )
                 _pos, child_id = child_search(p, unit, counters)
-                c = get_latched(child_id, child_mode)
+                c = get_latched(child_id, child_mode, scan=self.scan)
 
                 resolved, blocked_id = self._resolve_child(
                     c, unit, child_mode, txn
@@ -149,7 +157,9 @@ class Traversal:
                 return None, blocked
             if c.has_flag(PageFlag.OLDPGOFSPLIT) and unit >= c.side_key:
                 sibling_id = c.side_page
-                sibling = ctx.get_latched(sibling_id, child_mode)
+                sibling = ctx.get_latched(
+                    sibling_id, child_mode, scan=self.scan
+                )
                 ctx.release_page(c.page_id)
                 c = sibling
                 continue
@@ -175,7 +185,7 @@ class Traversal:
         if not ctx.page_manager.is_allocated(page_id):
             return None
         try:
-            page = ctx.get_latched(page_id, LatchMode.S)
+            page = ctx.get_latched(page_id, LatchMode.S, scan=self.scan)
         except StorageError:
             return None
         if (
@@ -195,10 +205,10 @@ class Traversal:
         ctx = self.ctx
         root_id = self.tree.root_page_id
         while True:
-            page = ctx.get_latched(root_id, LatchMode.S)
+            page = ctx.get_latched(root_id, LatchMode.S, scan=self.scan)
             if page.level == target_level and mode is AccessMode.WRITER:
                 ctx.release_page(root_id)
-                page = ctx.get_latched(root_id, LatchMode.X)
+                page = ctx.get_latched(root_id, LatchMode.X, scan=self.scan)
                 if page.level != target_level:
                     # Root grew between the relatch; S is enough again.
                     ctx.release_page(root_id)

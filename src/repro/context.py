@@ -64,6 +64,8 @@ class EngineContext:
         io_retry_limit: int = 12,
         io_retry_backoff: float = 0.0005,
         io_latency: float = 0.0,
+        pool_shards: int = 1,
+        ring_frames: int = 0,
     ) -> "EngineContext":
         """Wire up a fresh engine: disk, pool, log, locks, transactions.
 
@@ -81,6 +83,12 @@ class EngineContext:
         ``io_latency`` adds a simulated per-physical-call service time to
         the in-memory disk (see :class:`~repro.storage.disk.Disk`); it is
         ignored for file-backed stores, whose latency is real.
+
+        ``pool_shards`` stripes the buffer pool's frame table and lock
+        (scale with the expected thread count); ``ring_frames`` sizes the
+        pool's scan-resistant rebuild ring (0 = disabled, plain LRU) —
+        the rebuild can also enable it for just its own duration via
+        ``RebuildConfig.ring_frames``.
         """
         counters = counters if counters is not None else Counters()
         if storage_dir is not None:
@@ -120,6 +128,8 @@ class EngineContext:
             counters=counters,
             retry_limit=io_retry_limit,
             retry_backoff=io_retry_backoff,
+            shards=pool_shards,
+            ring_frames=ring_frames,
         )
         page_manager = PageManager(disk, counters=counters)
         buffer.set_wal_hook(log.flush_to)
@@ -153,12 +163,21 @@ class EngineContext:
     # ------------------------------------------------------------ page access
 
     def get_latched(
-        self, page_id: int, mode: LatchMode, large_io: bool = False
+        self,
+        page_id: int,
+        mode: LatchMode,
+        large_io: bool = False,
+        scan: bool = False,
     ) -> Page:
-        """Latch then pin a page; the pair is released by :meth:`release_page`."""
+        """Latch then pin a page; the pair is released by :meth:`release_page`.
+
+        ``scan=True`` tags the fetch as scan-class for the buffer pool's
+        replacement policy (rebuild reads of the old index — see
+        :mod:`repro.storage.buffer`); OLTP traversals use the default.
+        """
         self.latches.acquire(page_id, mode)
         try:
-            page = self.buffer.fetch(page_id, large_io=large_io)
+            page = self.buffer.fetch(page_id, large_io=large_io, scan=scan)
         except Exception:
             self.latches.release(page_id)
             raise

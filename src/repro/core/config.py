@@ -81,6 +81,21 @@ class RebuildConfig:
     """Seconds slept at every top-action boundary (0.0 = none).  The
     supervisor's degradation ladder widens this at runtime to shed I/O and
     lock pressure under a fault storm or an OLTP latency breach."""
+    ring_frames: int = 0
+    """Frames of the buffer pool's probationary *rebuild ring* the rebuild
+    enables for its duration (0 leaves the pool's setting untouched —
+    ring disabled by default, i.e. today's plain LRU).  With a ring, the
+    rebuild's scan-class reads, prefetches, and new-page allocations
+    recycle at most this many frames instead of sweeping the OLTP working
+    set out of the protected LRU.  Restored to the engine's setting when
+    the rebuild ends."""
+    pool_shards: int = 0
+    """Lock stripes requested of the engine's buffer pool (0 = leave the
+    engine's pool as built).  Unlike ``ring_frames`` this cannot change at
+    rebuild runtime — the frame table is sharded at pool construction —
+    so the bench/engine wiring reads it when creating the
+    :class:`~repro.engine.Engine`; a sensible setting scales with
+    ``parallel_workers``."""
     partition_exact_packing: bool = False
     """Restrict partition seams to *clean* cut points — leaf boundaries
     where the serial packing stream would open a fresh target page — so
@@ -131,4 +146,12 @@ class RebuildConfig:
             raise RebuildError(
                 f"parallel_workers must be in [1, 64], got "
                 f"{self.parallel_workers}"
+            )
+        if self.ring_frames < 0:
+            raise RebuildError(
+                f"ring_frames must be >= 0, got {self.ring_frames}"
+            )
+        if self.pool_shards < 0:
+            raise RebuildError(
+                f"pool_shards must be >= 0, got {self.pool_shards}"
             )

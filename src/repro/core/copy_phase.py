@@ -216,7 +216,9 @@ def copy_multipage(
     sources: list[tuple[int, list[bytes]]] = []
     next_after_run = NO_PAGE
     for pid in old_ids:
-        page = ctx.get_latched(pid, LatchMode.S, large_io=config.use_large_io)
+        page = ctx.get_latched(
+            pid, LatchMode.S, large_io=config.use_large_io, scan=True
+        )
         sources.append((pid, list(page.rows)))
         next_after_run = page.next_page
         ctx.release_page(pid)
@@ -228,7 +230,7 @@ def copy_multipage(
     pp_free_budget = 0
     capacity = ctx.page_size - HEADER_SIZE
     if pp_id != NO_PAGE:
-        pp = ctx.get_latched(pp_id, LatchMode.S)
+        pp = ctx.get_latched(pp_id, LatchMode.S, scan=True)
         pp_low_unit = pp.rows[0] if pp.rows else None
         pp_last_unit = pp.rows[-1] if pp.rows else None
         if fill_pp:
@@ -322,7 +324,7 @@ def _acquire_page(
         return False
     ctx.latches.acquire(page_id, LatchMode.X)
     try:
-        page = ctx.buffer.fetch(page_id, large_io=large_io)
+        page = ctx.buffer.fetch(page_id, large_io=large_io, scan=True)
     except Exception:
         ctx.latches.release(page_id)
         return False
@@ -358,7 +360,9 @@ def _lock_pp_and_p1(
     while True:
         if not ctx.page_manager.is_allocated(p1_id):
             raise PositionLost(f"leaf {p1_id} is gone")
-        page = ctx.get_latched(p1_id, LatchMode.S, large_io=large_io)
+        page = ctx.get_latched(
+            p1_id, LatchMode.S, large_io=large_io, scan=True
+        )
         if page.page_type is not PageType.LEAF:
             ctx.release_page(p1_id)
             raise PositionLost(f"page {p1_id} is no longer a leaf")
@@ -373,7 +377,7 @@ def _lock_pp_and_p1(
                     )
                 continue
             # Revalidate the chain under the lock.
-            pp = ctx.get_latched(pp_id, LatchMode.S)
+            pp = ctx.get_latched(pp_id, LatchMode.S, scan=True)
             still_prev = (
                 ctx.page_manager.is_allocated(pp_id)
                 and pp.page_type is PageType.LEAF
@@ -421,7 +425,7 @@ def _extend_run(
     run = [p1_id]
     current = p1_id
     while len(run) < ntasize:
-        page = ctx.get_latched(current, LatchMode.S)
+        page = ctx.get_latched(current, LatchMode.S, scan=True)
         next_id = page.next_page
         past_range = (
             stop_unit is not None
@@ -463,7 +467,9 @@ def _starts_below(
     if not ctx.page_manager.is_allocated(page_id):
         return False
     try:
-        page = ctx.get_latched(page_id, LatchMode.S, large_io=large_io)
+        page = ctx.get_latched(
+            page_id, LatchMode.S, large_io=large_io, scan=True
+        )
     except Exception:
         return False
     try:
@@ -474,7 +480,7 @@ def _starts_below(
 
 def _release_one(ctx: EngineContext, txn: Transaction, page_id: int) -> None:
     """Drop a conditionally acquired lock + bit (retry path)."""
-    page = ctx.get_latched(page_id, LatchMode.X)
+    page = ctx.get_latched(page_id, LatchMode.X, scan=True)
     page.clear_flag(PageFlag.SPLIT)
     page.clear_flag(PageFlag.SHRINK)
     ctx.release_page(page_id, dirty=True)
@@ -529,7 +535,9 @@ def _apply_copy(
         for pid in new_ids:
             prev, nxt = links[pid]
             ctx.latches.acquire(pid, LatchMode.X)
-            page = ctx.buffer.new_page(pid)
+            # The rebuild's fresh targets are written once and forced, so
+            # they recycle through the ring instead of displacing hot pages.
+            page = ctx.buffer.new_page(pid, scan=True)
             ctx.locks.acquire(txn.txn_id, LockSpace.ADDRESS, pid, LockMode.X)
             cleanup.append(pid)
             page.set_flag(PageFlag.SHRINK)
@@ -551,7 +559,7 @@ def _apply_copy(
     pp_old_next = NO_PAGE
     if pp_id != NO_PAGE:
         ctx.latches.acquire(pp_id, LatchMode.X)
-        pp_page = ctx.buffer.fetch(pp_id)
+        pp_page = ctx.buffer.fetch(pp_id, scan=True)
         pp_old_next = pp_page.next_page
         target_ts.append((pp_id, pp_page.page_lsn))
     for t in targets:
@@ -596,7 +604,7 @@ def _apply_copy(
     if config.split_then_shrink:
         # §6.2: flip the old pages' SPLIT bits to SHRINK before unlinking.
         for src_id, _rows in sources:
-            page = ctx.get_latched(src_id, LatchMode.X)
+            page = ctx.get_latched(src_id, LatchMode.X, scan=True)
             page.clear_flag(PageFlag.SPLIT)
             page.set_flag(PageFlag.SHRINK)
             ctx.release_page(src_id, dirty=True)
@@ -679,7 +687,7 @@ def _propagation_entries(
 
 
 def _index_id_of(ctx: EngineContext, page_id: int) -> int:
-    page = ctx.buffer.fetch(page_id)
+    page = ctx.buffer.fetch(page_id, scan=True)
     index_id = page.index_id
     ctx.buffer.unpin(page_id)
     return index_id

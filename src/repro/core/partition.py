@@ -194,7 +194,9 @@ def _plan_from_level1(
         # Large I/O on a cold pool: the descent's handful of nonleaf
         # reads ride the same aligned-run batching as the copy phase
         # instead of issuing scattered single-page device calls.
-        page = ctx.get_latched(page_id, LatchMode.S, large_io=large_io)
+        page = ctx.get_latched(
+            page_id, LatchMode.S, large_io=large_io, scan=True
+        )
         try:
             if page.page_type is not PageType.NONLEAF:
                 raise _PlanFallback(page_id)
@@ -261,7 +263,7 @@ def _plan_from_leaves(
             break  # chain mutated mid-walk; plan what we have
         try:
             page = ctx.get_latched(
-                pid, LatchMode.S, large_io=config.use_large_io
+                pid, LatchMode.S, large_io=config.use_large_io, scan=True
             )
         except Exception:
             break

@@ -302,7 +302,7 @@ class OnlineRebuild:
         )
         tree._rebuild_active = True  # type: ignore[attr-defined]
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
-        traversal = Traversal(ctx, tree)
+        traversal = Traversal(ctx, tree, scan=True)
         report = RebuildReport()
         self.last_report = report  # kept current even when the run raises
         counters_before = ctx.counters.snapshot()
@@ -326,6 +326,13 @@ class OnlineRebuild:
         saved_retry = ctx.buffer.retry_limit
         if config.io_retry_limit is not None:
             ctx.buffer.retry_limit = config.io_retry_limit
+        # Scan resistance (issue 8): enable the pool's probationary ring
+        # for the rebuild's duration so this scan's reads, prefetches, and
+        # new-page allocations recycle ring frames instead of sweeping the
+        # OLTP working set out of the protected LRU.
+        saved_ring = ctx.buffer.ring_frames
+        if config.ring_frames > 0:
+            ctx.buffer.set_ring_frames(config.ring_frames)
         try:
             with timer:
                 if use_parallel:
@@ -351,6 +358,8 @@ class OnlineRebuild:
                 self._scheduler = None
             ctx.log.group_commit_window = saved_window
             ctx.buffer.retry_limit = saved_retry
+            if config.ring_frames > 0:
+                ctx.buffer.set_ring_frames(saved_ring)
             chunk_alloc.close()
             tree._rebuild_active = False  # type: ignore[attr-defined]
         report.wall_seconds = timer.wall_seconds
@@ -702,7 +711,7 @@ class OnlineRebuild:
         ctx, config = self.ctx, self.config
         ordinal, seg = spec.ordinal, spec.segment
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
-        traversal = Traversal(ctx, self.tree)
+        traversal = Traversal(ctx, self.tree, scan=True)
         left_token = tokens[ordinal - 1] if ordinal > 0 else None
         try:
             ctx.syncpoints.fire(
@@ -898,7 +907,21 @@ class OnlineRebuild:
             self._clear_bits_safely(txn, cleanup)
             raise
         ctx.txns.end_nta(txn)
-        clear_protocol_bits(ctx, txn, cleanup)
+        clear_protocol_bits(ctx, txn, cleanup, scan=True)
+        # The bit-clear was the last latch these source pages will ever
+        # see (they are already deallocated; freeing waits for commit).
+        # Tell the pool so the ring recycles them ahead of frames the
+        # copy loop still needs — without the hint the bit-clear's own
+        # re-reference parks them at the ring's recency end, shadowing
+        # live frames into eviction and re-read.  No-op when the ring
+        # is disabled.  With a write-behind scheduler running, also hand
+        # the (now dirty) pages to its writer: cleaned in one batched
+        # async call overlapped with the copy's reads, their ring
+        # evictions become free instead of each buying a write.
+        for pid in cleanup:
+            ctx.buffer.demote_page(pid)
+        if config.ring_frames > 0 and scheduler is not None:
+            scheduler.submit_write(cleanup)
         txn_new_pages.extend(nta_new_pages)
         if scheduler is not None:
             # Eager write-behind: this top action's pages are final for the
@@ -954,7 +977,7 @@ class OnlineRebuild:
             if first == tree.root_page_id:
                 return None
             return first
-        leaf = Traversal(ctx, tree).traverse(
+        leaf = Traversal(ctx, tree, scan=True).traverse(
             probe, AccessMode.READER, 0, txn
         )
         pos, _found = node.leaf_search(leaf, probe, ctx.counters)
@@ -978,7 +1001,8 @@ class OnlineRebuild:
         if next_id == NO_PAGE:
             return None
         nxt = ctx.get_latched(
-            next_id, LatchMode.S, large_io=self.config.use_large_io
+            next_id, LatchMode.S, large_io=self.config.use_large_io,
+            scan=True,
         )
         low = nxt.rows[0] if nxt.rows else None
         ctx.release_page(next_id)
@@ -999,7 +1023,7 @@ class OnlineRebuild:
     def _leftmost_leaf(self, txn: Transaction) -> int:
         """Latched descent along first children to the leftmost leaf."""
         ctx, tree = self.ctx, self.tree
-        trav = Traversal(ctx, tree)
+        trav = Traversal(ctx, tree, scan=True)
         # An empty key unit routes to the leftmost path at every level.
         lo = b"\x00" * (tree.key_len + 6)
         leaf = trav.traverse(lo, AccessMode.READER, 0, txn)
@@ -1050,7 +1074,7 @@ class OnlineRebuild:
         ctx = self.ctx
         for page_id in cleanup:
             if ctx.page_manager.is_allocated(page_id):
-                page = ctx.get_latched(page_id, LatchMode.X)
+                page = ctx.get_latched(page_id, LatchMode.X, scan=True)
                 page.clear_flag(PageFlag.SPLIT)
                 page.clear_flag(PageFlag.SHRINK)
                 page.clear_side_entry()

@@ -47,6 +47,8 @@ class Engine:
         io_retry_limit: int = 12,
         io_retry_backoff: float = 0.0005,
         io_latency: float = 0.0,
+        pool_shards: int = 1,
+        ring_frames: int = 0,
     ) -> None:
         self.ctx = EngineContext.create(
             page_size=page_size,
@@ -61,6 +63,8 @@ class Engine:
             io_retry_limit=io_retry_limit,
             io_retry_backoff=io_retry_backoff,
             io_latency=io_latency,
+            pool_shards=pool_shards,
+            ring_frames=ring_frames,
         )
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows

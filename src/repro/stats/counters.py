@@ -53,6 +53,16 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "prefetch_hits",       # fetches satisfied by a speculatively cached page
     "prefetch_unused",     # prefetched pages evicted before anyone fetched them
     "prefetch_skipped_resident",  # read-ahead hints dropped: page already cached
+    "prefetch_throttled",  # read-ahead refused: ring full of unconsumed window
+    "prefetch_skipped_consumed",  # hint dropped: scan already consumed the page
+    "ring_ghost_promotions",  # scan re-read after ring eviction -> protected
+    # Scan-resistant sharded buffer pool (PR 8).
+    "pool_demand_hits",    # OLTP (scan=False) fetches served from the pool
+    "pool_demand_misses",  # OLTP (scan=False) fetches that had to read disk
+    "pool_shard_conflicts",  # shard-lock acquisitions that found the lock held
+    "ring_admits",         # scan-class admissions into the rebuild ring
+    "ring_promotions",     # ring pages promoted to protected by a demand hit
+    "hot_evictions_by_scan",  # protected frames evicted by scan-class admissions
     # Write-behind forcing (io_scheduler).
     "writebehind_batches", # physical flush batches issued by the background forcer
     "writebehind_pages",   # pages pushed through the forcer

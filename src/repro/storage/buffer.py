@@ -1,7 +1,7 @@
-"""Buffer pool with WAL enforcement and large-buffer I/O (§3, §6.3).
+"""Scan-resistant, lock-striped buffer pool with WAL enforcement (§3, §6.3).
 
-The pool caches :class:`~repro.storage.page.Page` objects by page id with
-LRU replacement.  Two protocol points from the paper are load-bearing:
+The pool caches :class:`~repro.storage.page.Page` objects by page id.  Two
+protocol points from the paper are load-bearing:
 
 * **WAL.**  Before a dirty page reaches disk, the log is flushed up to that
   page's ``page_lsn``.  The engine installs the hook via
@@ -16,29 +16,65 @@ LRU replacement.  Two protocol points from the paper are load-bearing:
 containing the page in one physical call, modelling the paper's 16 KB
 buffer-pool reads of the old index.
 
+**Lock striping.**  The frame table is sharded by ``page_id % shards``;
+each shard owns its lock, condition variable, in-flight-read table, and
+in-flight-write table, plus an equal slice of the frame budget.  Threads
+touching different shards never contend, and ``pool_shard_conflicts``
+counts the times a thread found its shard's lock held (the contention the
+striping exists to remove).  Flushes visit shards in ascending index order
+— the fixed order makes overlapping multi-shard flushes deadlock-free —
+and still issue a *single* ``write_many`` so contiguous ids keep
+coalescing into large physical I/Os.  ``shards=1`` (the default) is the
+historical single-lock pool.
+
+**Scan resistance (2Q-style rebuild ring).**  A rebuild's sequential
+leaf-chain scan would sweep the OLTP working set out of an LRU pool, so
+frames are tagged by admission class.  Demand (OLTP) fetches go to the
+*protected* LRU.  With ``ring_frames > 0``, scan-class reads
+(``fetch(..., scan=True)``, scan prefetches, and the rebuild's new-page
+allocations) go to a small bounded probationary *ring* that recycles its
+own frames first — a 50k-leaf scan can displace at most ``ring_frames``
+pages of the hot set.  A ring page re-referenced by a demand fetch is
+*promoted* to the protected region (``ring_promotions``).  Ring
+recycling keeps the scan fed: frames the rebuild has explicitly finished
+with (:meth:`demote_page`) go first, then speculative frames the scan
+has already moved past (they are dead weight), then the oldest consumed
+frames (clean before dirty; a dirty victim gang-flushes its demoted
+dirty neighbors in one coalesced write); the not-yet-consumed read-ahead
+window goes last, because evicting it re-buys its reads.  A small ghost
+list (2Q's A1out) spots scan reuse the ring cannot hold and promotes
+those admissions to the protected cold end; prefetch hints for ghosted
+pages are refused, and read-ahead is throttled once its unconsumed
+window fills half the ring.  Under global pressure the ring is evicted
+before the protected LRU; a scan-class admission that does evict a
+protected frame is counted under ``hot_evictions_by_scan``.
+``ring_frames=0`` (the default) disables the ring entirely: every
+admission behaves exactly as the historical LRU.
+
 A simulated **crash** (:meth:`crash`) discards every frame without writing —
 the disk keeps only what was explicitly flushed, which is what recovery
 tests exercise.
 
-**I/O concurrency.**  The pool lock protects the frame table, but is
-*released* around every physical disk call on the common paths (miss
-reads, aligned-run reads, prefetch reads, batch flushes), so threads
-overlap their disk time instead of serializing on the pool — the property
-the partitioned parallel rebuild (and its simulated-latency A/B) depends
-on.  Two pieces of bookkeeping make that safe:
+**I/O concurrency.**  A shard's lock protects its frame table, but is
+*released* around every physical disk call — miss reads, aligned-run
+reads, prefetch reads, batch flushes, and dirty-eviction writes — so
+threads overlap their disk time instead of serializing on the pool.
+(Dirty evictions historically wrote under the pool lock; they now go
+through the same in-flight-write table as batch flushes, and
+``tools/lint_no_io_under_lock.py`` enforces statically that no disk call
+is issued under a shard lock.)  Two pieces of bookkeeping make the
+unlocked I/O safe:
 
-* an *in-flight read table* — a miss registers the page id before
-  dropping the lock; a second fetch of the same page waits on the pool's
+* a per-shard *in-flight read table* — a miss registers the page id before
+  dropping the lock; a second fetch of the same page waits on the shard's
   condition variable instead of issuing a duplicate read, and every
   admission point re-checks residency after reacquiring the lock;
 * a per-frame *version counter*, bumped whenever a frame becomes dirty —
-  a batch flush snapshots (frame, version) pairs, writes without the
-  lock, and clears the dirty bit only for frames still resident at the
-  same version, so a change that lands mid-flush is never lost.
-
-Dirty *evictions* still write under the lock: they are rare once the
-write-behind forcer is on, and keeping them serialized avoids a second
-in-flight table for writes.
+  any unlocked write snapshots (frame, version), writes without the lock,
+  and clears the dirty bit only for frames still resident at the same
+  version, so a change that lands mid-write is never lost.  The per-shard
+  *in-flight write table* orders overlapping writes of the same page, so
+  a slower writer holding an older image can never land after a newer one.
 """
 
 from __future__ import annotations
@@ -55,7 +91,10 @@ from repro.storage.page import Page
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count", "prefetched", "version")
+    __slots__ = (
+        "page", "dirty", "pin_count", "prefetched", "version", "ring", "seq",
+        "dead",
+    )
 
     def __init__(self, page: Page) -> None:
         self.page = page
@@ -64,18 +103,95 @@ class _Frame:
         # Admitted speculatively (run neighbor or read-ahead) and not yet
         # fetched: the first fetch counts a prefetch hit and clears it.
         self.prefetched = False
+        # The scan declared itself finished with this page for good
+        # (:meth:`BufferPool.demote_page`): first-choice ring victim.
+        # Any later fetch revives the frame.
+        self.dead = False
+        # Ring admission order; compared against the shard's consumed
+        # watermark to tell bypassed speculative frames (dead, reclaim
+        # first) from the not-yet-consumed read-ahead window.
+        self.seq = 0
         # Bumped on every dirtying; lets an unlocked flush detect that the
         # frame changed mid-write and must stay dirty.
         self.version = 0
+        # Lives in the shard's probationary ring (scan-class admission)
+        # rather than the protected LRU.
+        self.ring = False
+
+
+class _Shard:
+    """One stripe of the pool: frames, ring, and the tables guarding them.
+
+    Entering the shard (``with shard:``) probes the lock non-blockingly
+    first so real contention is visible in ``pool_shard_conflicts``.
+    Recency in both ``frames`` and ``ring`` is insertion order — least
+    recent / first-out at the front.
+    """
+
+    __slots__ = (
+        "lock", "cond", "frames", "ring", "inflight", "writing",
+        "capacity", "ring_quota", "counters", "admit_seq", "consumed_seq",
+        "ghost",
+    )
+
+    def __init__(self, capacity: int, ring_quota: int, counters: Counters) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.frames: OrderedDict[int, _Frame] = OrderedDict()  # protected LRU
+        self.ring: OrderedDict[int, _Frame] = OrderedDict()    # probationary
+        # Page ids with a disk read in progress (lock released); fetches of
+        # the same page wait here instead of duplicating the read.
+        self.inflight: set[int] = set()
+        # Page ids with an unlocked *write* in progress.  A second write of
+        # an overlapping page waits for it; pages in here are always
+        # resident (flushes keep the frame, evictions wait), so read paths
+        # never see a half-updated disk image either.
+        self.writing: set[int] = set()
+        self.capacity = capacity
+        self.ring_quota = ring_quota
+        self.counters = counters
+        # Ring admission ticket and the highest ticket any fetch has
+        # consumed: a prefetched ring frame with seq below the watermark
+        # was bypassed by the scan and is dead weight.
+        self.admit_seq = 0
+        self.consumed_seq = 0
+        # 2Q's A1out: page ids of *consumed* ring frames recently evicted
+        # (bounded to ``ring_quota`` entries, FIFO).  A scan fetch that
+        # misses on a ghost page has reuse the ring could not hold — the
+        # source tree's internal nodes, pages re-latched across copy-phase
+        # steps — and is admitted to the protected region instead of
+        # being re-read once per eviction cycle for the whole rebuild.
+        self.ghost: OrderedDict[int, None] = OrderedDict()
+
+    def __enter__(self) -> "_Shard":
+        if not self.lock.acquire(False):
+            self.counters.add("pool_shard_conflicts")
+            self.lock.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.lock.release()
+
+    def lookup(self, page_id: int) -> _Frame | None:
+        frame = self.frames.get(page_id)
+        return frame if frame is not None else self.ring.get(page_id)
+
+    def pop(self, page_id: int) -> None:
+        if self.frames.pop(page_id, None) is None:
+            self.ring.pop(page_id, None)
+
+    def resident(self) -> int:
+        return len(self.frames) + len(self.ring)
 
 
 class BufferPool:
-    """LRU page cache over a :class:`Disk`.
+    """Sharded page cache over a :class:`Disk`.
 
-    Recency is the order of the ``_frames`` :class:`OrderedDict` — least
-    recent first — so a hit is an O(1) ``move_to_end`` and eviction pops
-    from the front (skipping pinned frames), instead of the tick-counter
-    full scan a naive LRU needs.
+    Recency is the order of each shard's ``frames`` :class:`OrderedDict` —
+    least recent first — so a hit is an O(1) ``move_to_end`` and eviction
+    pops from the front (skipping pinned frames), instead of the
+    tick-counter full scan a naive LRU needs.  See the module docstring
+    for the striping and scan-resistance design.
     """
 
     def __init__(
@@ -86,35 +202,67 @@ class BufferPool:
         retry_limit: int = 12,
         retry_backoff: float = 0.0005,
         retry_backoff_cap: float = 0.01,
+        shards: int = 1,
+        ring_frames: int = 0,
     ) -> None:
         if capacity < 8:
             raise BufferError_("buffer pool needs at least 8 frames")
+        if shards < 1:
+            raise BufferError_(f"pool shards must be >= 1, got {shards}")
+        if capacity // shards < 8:
+            raise BufferError_(
+                f"capacity {capacity} leaves under 8 frames per shard "
+                f"across {shards} shards"
+            )
+        if ring_frames < 0:
+            raise BufferError_(f"ring_frames must be >= 0, got {ring_frames}")
         self.disk = disk
         self.capacity = capacity
+        self.n_shards = shards
+        self.ring_frames = ring_frames
         self.retry_limit = retry_limit
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
-        self._frames: OrderedDict[int, _Frame] = OrderedDict()
-        # Plain Lock: no public method re-enters another (flush_all uses
-        # the shared locked helper), and Lock beats RLock on the fast path.
-        self._lock = threading.Lock()
-        # Page ids with a disk read in progress (lock released); fetches of
-        # the same page wait here instead of duplicating the read.
-        self._inflight: set[int] = set()
-        # Page ids with an unlocked batch *write* in progress.  A second
-        # flush (or an eviction write) of an overlapping page waits for it:
-        # otherwise a slower writer holding an older image could land on
-        # disk after a newer one.  Pages in here are always resident (the
-        # flush keeps the frame; evictions wait), so read paths never see
-        # a half-updated disk image either.
-        self._writing: set[int] = set()
-        self._cond = threading.Condition(self._lock)
+        self._shards = [
+            _Shard(
+                capacity // shards + (1 if i < capacity % shards else 0),
+                ring_frames // shards + (1 if i < ring_frames % shards else 0),
+                self.counters,
+            )
+            for i in range(shards)
+        ]
         self._wal_hook: Callable[[int], None] | None = None
 
     def set_wal_hook(self, hook: Callable[[int], None]) -> None:
         """Install ``flush_log_to(lsn)``, called before any dirty write."""
         self._wal_hook = hook
+
+    def set_ring_frames(self, ring_frames: int) -> None:
+        """Resize (or disable, with 0) the probationary ring at runtime.
+
+        The online rebuild uses this to enable the ring for its own
+        duration and restore the engine's setting afterwards.  Disabling
+        demotes resident ring frames to the *cold* end of the protected
+        LRU — they stay resident, and stay first in line for eviction.
+        A shrunken quota is enforced lazily by the next ring admission.
+        """
+        if ring_frames < 0:
+            raise BufferError_(f"ring_frames must be >= 0, got {ring_frames}")
+        self.ring_frames = ring_frames
+        n = self.n_shards
+        for i, shard in enumerate(self._shards):
+            quota = ring_frames // n + (1 if i < ring_frames % n else 0)
+            with shard:
+                shard.ring_quota = quota
+                if quota == 0:
+                    shard.ghost.clear()
+                    for pid in reversed(list(shard.ring)):
+                        frame = shard.ring.pop(pid)
+                        frame.ring = False
+                        frame.dead = False
+                        shard.frames[pid] = frame
+                        shard.frames.move_to_end(pid, last=False)
 
     # ------------------------------------------------------------------ retry
 
@@ -146,66 +294,111 @@ class BufferPool:
 
     # ------------------------------------------------------------------ fetch
 
-    def _io_unlocked(self, fn: Callable[[], object]):  # noqa: ANN201
-        """Run a (retried) disk call with the pool lock released.
+    def _shard_of(self, page_id: int) -> _Shard:
+        return self._shards[page_id % self.n_shards]
 
-        Must be called with the lock held; the lock is reacquired before
-        returning or raising, so callers resume with their invariants —
-        except frame-table contents, which they must re-check.
+    def _io_unlocked(self, shard: _Shard, fn: Callable[[], object]):  # noqa: ANN201
+        """Run a (retried) disk call with the shard's lock released.
+
+        Must be called with the shard lock held; the lock is reacquired
+        before returning or raising, so callers resume with their
+        invariants — except frame-table contents, which they must
+        re-check.
         """
-        self._lock.release()
+        shard.lock.release()
         try:
             return self.retrying(fn)
         finally:
-            self._lock.acquire()
+            shard.lock.acquire()
 
-    def fetch(self, page_id: int, large_io: bool = False) -> Page:
+    def fetch(self, page_id: int, large_io: bool = False, scan: bool = False) -> Page:
         """Pin and return the page, reading it from disk on a miss.
 
         With ``large_io`` a miss reads the io-size-aligned run containing
         ``page_id`` in one physical call and caches (unpinned) every page of
-        the run that exists on disk.  Miss reads run with the pool lock
+        the run that exists on disk.  Miss reads run with the shard lock
         released; a concurrent fetch of the same page waits for the first
         read instead of duplicating it.
+
+        ``scan=True`` tags the access as scan-class (the rebuild's
+        sequential read of the old index): with the ring enabled the page
+        is admitted to — and re-referenced within — the probationary ring
+        instead of the protected LRU.  A demand (``scan=False``) hit on a
+        ring-resident page promotes it to the protected region.
         """
-        with self._lock:
+        shard = self._shards[page_id % self.n_shards]
+        missed = False
+        with shard:
             self.counters.add("page_reads")
-            frames = self._frames
             while True:
-                frame = frames.get(page_id)
+                frame = shard.lookup(page_id)
                 if frame is not None:
                     break
-                if page_id in self._inflight:
-                    self._cond.wait()
+                if page_id in shard.inflight:
+                    shard.cond.wait()
                     continue
-                self._inflight.add(page_id)
+                shard.inflight.add(page_id)
                 try:
                     if large_io and self.disk.pages_per_io > 1:
-                        self._read_aligned_run(page_id)
-                        frame = frames.get(page_id)
+                        self._read_aligned_run(shard, page_id, scan)
+                        frame = shard.lookup(page_id)
                     if frame is None:
                         image = self._io_unlocked(
-                            lambda: self.disk.read(page_id)
+                            shard, lambda: self.disk.read(page_id)
                         )
                         # The lock was released: a prefetch or run read may
                         # have admitted the page meanwhile.
-                        frame = frames.get(page_id)
+                        frame = shard.lookup(page_id)
                         if frame is None:
                             frame = self._admit(
-                                Page.from_bytes(image, self.disk.page_size)
+                                shard,
+                                Page.from_bytes(image, self.disk.page_size),
+                                scan=scan,
                             )
                 finally:
-                    self._inflight.discard(page_id)
-                    self._cond.notify_all()
+                    shard.inflight.discard(page_id)
+                    shard.cond.notify_all()
+                missed = True
                 break
             if frame.prefetched:
                 self.counters.add("prefetch_hits")
+                # The consumption watermark advances only when the scan
+                # actually consumes a speculative frame: re-references of
+                # other ring residents (the rebuild's target pages, most
+                # recently admitted and touched constantly) must not jump
+                # it ahead, or the whole unconsumed read-ahead window gets
+                # misclassified as bypassed and evicted first.
+                if frame.ring and frame.seq > shard.consumed_seq:
+                    shard.consumed_seq = frame.seq
             frame.prefetched = False
+            frame.dead = False  # any re-reference revives a demoted frame
+            if not scan:
+                self.counters.add(
+                    "pool_demand_misses" if missed else "pool_demand_hits"
+                )
+            if frame.ring:
+                if scan:
+                    # Consumed by the scan: recency-ordered with the other
+                    # used ring frames, behind the read-ahead window.  The
+                    # age refresh (no ticket consumed) keeps the frame in
+                    # the eviction order's young class: the top action
+                    # that just consumed it will re-latch it once more
+                    # for the protocol-bit clear before demoting it.
+                    shard.ring.move_to_end(page_id)
+                    frame.seq = shard.admit_seq
+                else:
+                    # 2Q promotion: a demand re-reference earns the page a
+                    # place in the protected region.
+                    del shard.ring[page_id]
+                    frame.ring = False
+                    shard.frames[page_id] = frame
+                    self.counters.add("ring_promotions")
+            else:
+                shard.frames.move_to_end(page_id)  # O(1) LRU touch
             frame.pin_count += 1
-            frames.move_to_end(page_id)  # O(1) LRU touch
             return frame.page
 
-    def new_page(self, page_id: int) -> Page:
+    def new_page(self, page_id: int, scan: bool = False) -> Page:
         """Create a pinned, dirty, empty page image for a fresh allocation.
 
         A recycled page id may still be resident (its previous incarnation)
@@ -213,25 +406,40 @@ class BufferPool:
         *kept*: redo replays history in LSN order, and records that predate
         the page's freeing must find the old incarnation to apply against
         (their effects are later overwritten by this allocation's FORMAT).
+
+        ``scan=True`` admits the fresh frame to the rebuild ring (when
+        enabled): the rebuild's new pages are written once, forced, and
+        not re-referenced, so they should recycle ahead of the hot set.
         """
-        with self._lock:
-            stale = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            stale = shard.lookup(page_id)
             if stale is not None:
                 if stale.pin_count > 0:
                     raise BufferError_(
                         f"page {page_id} is pinned; cannot reallocate"
                     )
-                self._write_frame(page_id, stale)
-                self._frames.pop(page_id, None)
-            frame = self._admit(Page(page_id, self.disk.page_size))
+                self._write_frame(shard, page_id, stale)
+                # The write dropped the lock: revalidate before replacing.
+                stale = shard.lookup(page_id)
+                if stale is not None:
+                    if stale.pin_count > 0:
+                        raise BufferError_(
+                            f"page {page_id} is pinned; cannot reallocate"
+                        )
+                    shard.pop(page_id)
+            frame = self._admit(
+                shard, Page(page_id, self.disk.page_size), scan=scan
+            )
             frame.pin_count += 1
             frame.dirty = True
             frame.version += 1
             return frame.page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.lookup(page_id)
             if frame is None or frame.pin_count <= 0:
                 raise BufferError_(f"page {page_id} is not pinned")
             frame.pin_count -= 1
@@ -240,242 +448,632 @@ class BufferPool:
                 frame.version += 1
 
     def mark_dirty(self, page_id: int) -> None:
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.lookup(page_id)
             if frame is None:
                 raise BufferError_(f"page {page_id} is not resident")
             frame.dirty = True
             frame.version += 1
 
     def is_resident(self, page_id: int) -> bool:
-        with self._lock:
-            return page_id in self._frames
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            return shard.lookup(page_id) is not None
 
     def pin_count(self, page_id: int) -> int:
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.lookup(page_id)
             return frame.pin_count if frame else 0
 
     # ------------------------------------------------------------------ flush
 
     def flush_page(self, page_id: int) -> None:
         """Force one page to disk (WAL-first)."""
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.lookup(page_id)
             if frame is None:
                 return
-            self._write_frame(page_id, frame)
+            self._write_frame(shard, page_id, frame)
 
     def flush_pages(self, page_ids: list[int]) -> None:
         """Force a set of pages to disk, batching contiguous ids (§3).
 
         This is the rebuild's transaction-boundary force of its new pages;
         the chunk allocator makes the ids contiguous, so the batch goes out
-        through large physical I/Os.
+        through large physical I/Os — the shards are visited one at a time
+        for bookkeeping, but the write itself is a single ``write_many``
+        so contiguity survives striping.
         """
-        with self._lock:
-            self._flush_pages_locked(page_ids)
-
-    def _flush_pages_locked(self, page_ids: list[int]) -> None:
-        # Wait out any in-flight write overlapping this batch, so batch
-        # writes of the same page are ordered and dirty-clearing is sound.
-        while not self._writing.isdisjoint(page_ids):
-            self._cond.wait()
-        # Pass 1 — bookkeeping only: find the dirty frames, remembering
-        # each frame's version.  Clean frames are never serialized.
-        dirty_frames: dict[int, tuple[_Frame, int]] = {}
+        by_shard: dict[int, set[int]] = {}
         for pid in page_ids:
-            frame = self._frames.get(pid)
-            if frame is not None and frame.dirty:
-                dirty_frames.setdefault(pid, (frame, frame.version))
-        if not dirty_frames:
-            return
-        # Pass 2 — serialize the batch in one go, then WAL-flush and
-        # write with the pool lock *released* (both can block on physical
-        # I/O).  Each dirty frame is written exactly once even if its id
-        # repeats in ``page_ids``.
-        images = {
-            pid: frame.page.to_bytes()
-            for pid, (frame, _) in dirty_frames.items()
-        }
-        max_lsn = max(
-            frame.page.page_lsn for frame, _ in dirty_frames.values()
-        )
-
-        def _wal_then_write() -> None:
-            if self._wal_hook is not None:
-                self._wal_hook(max_lsn)
-            self.disk.write_many(images)
-
-        self._writing.update(dirty_frames)
+            by_shard.setdefault(pid % self.n_shards, set()).add(pid)
+        # Pass 1 — per shard, in ascending index order (the fixed order is
+        # what makes overlapping multi-shard flushes deadlock-free): wait
+        # out in-flight writes overlapping this batch, find the dirty
+        # frames, serialize them, and claim them in the shard's write
+        # table.  Clean frames are never serialized.
+        images: dict[int, bytes] = {}
+        max_lsn = 0
+        claimed: list[tuple[_Shard, dict[int, tuple[_Frame, int]]]] = []
+        wrote = False
         try:
-            self._io_unlocked(_wal_then_write)
+            for index in sorted(by_shard):
+                shard = self._shards[index]
+                ids = by_shard[index]
+                with shard:
+                    while not shard.writing.isdisjoint(ids):
+                        shard.cond.wait()
+                    local: dict[int, tuple[_Frame, int]] = {}
+                    for pid in ids:
+                        frame = shard.lookup(pid)
+                        if frame is not None and frame.dirty:
+                            local[pid] = (frame, frame.version)
+                    if not local:
+                        continue
+                    for pid, (frame, _version) in local.items():
+                        images[pid] = frame.page.to_bytes()
+                        if frame.page.page_lsn > max_lsn:
+                            max_lsn = frame.page.page_lsn
+                    shard.writing.update(local)
+                    claimed.append((shard, local))
+            if not images:
+                return
+            # Pass 2 — WAL-flush and write with no shard lock held (both
+            # can block on physical I/O).  Each dirty frame is written
+            # exactly once even if its id repeats in ``page_ids``.
+
+            def _wal_then_write() -> None:
+                if self._wal_hook is not None:
+                    self._wal_hook(max_lsn)
+                self.disk.write_many(images)
+
+            self.retrying(_wal_then_write)
+            wrote = True
+            self.counters.add("page_writes", len(images))
         finally:
-            self._writing.difference_update(dirty_frames)
-            self._cond.notify_all()
-        self.counters.add("page_writes", len(images))
-        # Pass 3 — clear dirty only for frames still resident at the
-        # version we serialized; anything redirtied (or evicted and
-        # re-read) mid-write keeps its state.
-        for pid, (frame, version) in dirty_frames.items():
-            if self._frames.get(pid) is frame and frame.version == version:
-                frame.dirty = False
+            # Pass 3 — release the write claims; clear dirty only for
+            # frames still resident at the version we serialized (anything
+            # redirtied or evicted-and-re-read mid-write keeps its state).
+            for shard, local in claimed:
+                with shard:
+                    shard.writing.difference_update(local)
+                    shard.cond.notify_all()
+                    if wrote:
+                        for pid, (frame, version) in local.items():
+                            if (
+                                shard.lookup(pid) is frame
+                                and frame.version == version
+                            ):
+                                frame.dirty = False
 
     def flush_all(self) -> None:
         """Force every dirty resident page (checkpoint / clean shutdown)."""
-        with self._lock:
-            self._flush_pages_locked(list(self._frames))
+        self.flush_pages(self._resident_ids())
+
+    def _resident_ids(self) -> list[int]:
+        ids: list[int] = []
+        for shard in self._shards:
+            with shard:
+                ids.extend(shard.frames)
+                ids.extend(shard.ring)
+        return ids
+
+    def demote_page(self, page_id: int) -> None:
+        """Hint: the scan is finished with this ring page for good.
+
+        The rebuild calls this for a source leaf once its protocol bits
+        are cleared — the page is deallocated and nothing will latch it
+        again.  Without the hint such pages sit at the ring's recency
+        end (the bit-clearing re-reference put them there) shadowing
+        frames the copy loop still needs, which then get recycled and
+        re-read.  The frame moves to the first-out end and becomes the
+        preferred victim; it is *not* dropped — a dirty demoted frame
+        may carry changes beyond the bit-clear (a foreground update
+        applied before the copy point, a page image that never reached
+        disk at all), so it still takes the normal write-on-evict path,
+        batched with its fellow demoted frames in one gang-flush call.
+        No-op for pages outside the ring — in particular whenever the
+        ring is disabled, so default behavior is untouched — and any
+        later fetch revives the frame.
+        """
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.ring.get(page_id)
+            if frame is None:
+                return
+            frame.dead = True
+            shard.ring.move_to_end(page_id, last=False)
 
     def drop_page(self, page_id: int) -> None:
         """Evict a page without writing (its id was freed and recycled)."""
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        with shard:
+            frame = shard.lookup(page_id)
             if frame is not None and frame.pin_count > 0:
                 raise BufferError_(f"page {page_id} is pinned; cannot drop")
-            self._frames.pop(page_id, None)
+            shard.pop(page_id)
 
     def crash(self) -> None:
         """Simulate a crash: lose every frame, flush nothing."""
-        with self._lock:
-            self._frames.clear()
-            self._inflight.clear()
-            self._writing.clear()
-            self._cond.notify_all()
+        for shard in self._shards:
+            with shard:
+                shard.frames.clear()
+                shard.ring.clear()
+                shard.ghost.clear()
+                shard.inflight.clear()
+                shard.writing.clear()
+                shard.cond.notify_all()
 
     # --------------------------------------------------------------- internals
 
-    def _touch(self, page_id: int) -> None:
-        """Mark a frame most-recently-used (O(1))."""
-        self._frames.move_to_end(page_id)
+    def _admit(
+        self,
+        shard: _Shard,
+        page: Page,
+        scan: bool = False,
+        required: bool = True,
+        prefetched: bool = False,
+        clean_only: bool = False,
+        spare_window: bool = False,
+    ) -> _Frame | None:
+        """Insert a frame, evicting if the shard's slice is full.
 
-    def _admit(self, page: Page, required: bool = True) -> _Frame | None:
-        """Insert a frame at the MRU end, evicting if the pool is full.
-
-        With ``required=False`` (opportunistic prefetch) a pool full of
-        pinned frames returns ``None`` instead of raising.
+        Scan-class admissions go to the ring when it is enabled, recycling
+        the ring's own frames first.  With ``required=False``
+        (opportunistic admission) a shard full of pinned frames returns
+        ``None`` instead of raising; ``clean_only`` additionally forbids
+        writing a dirty victim (the prefetch paths must never write);
+        ``spare_window`` forbids evicting a not-yet-consumed speculative
+        ring frame (speculative admissions must not cannibalize the live
+        read-ahead window — that is how a prefetcher running ahead of the
+        scan turns into re-reading the whole chain).  Evicting a dirty
+        victim drops the shard lock, so residency is re-checked afterwards
+        — if the page was admitted meanwhile, the existing frame is
+        returned.
         """
-        if len(self._frames) >= self.capacity and not self._evict_one(
-            required=required
-        ):
-            return None
+        existing = shard.lookup(page.page_id)
+        if existing is not None:
+            return existing
+        to_ring = scan and shard.ring_quota > 0
+        ghost_promotion = (
+            to_ring and not prefetched and page.page_id in shard.ghost
+        )
+        if ghost_promotion:
+            # Ghost hit: the scan already consumed and recycled this page
+            # once, and here it is again — reuse the ring cannot hold.
+            # Promote the admission to the protected region so the page
+            # stops being re-read once per ring cycle.
+            del shard.ghost[page.page_id]
+            to_ring = False
+            self.counters.add("ring_ghost_promotions")
+        if to_ring:
+            while len(shard.ring) >= shard.ring_quota:
+                if not self._evict_ring(
+                    shard, clean_only=clean_only, spare_window=spare_window
+                ):
+                    if clean_only:
+                        return None
+                    break  # every ring frame pinned: admit over quota
+                existing = shard.lookup(page.page_id)
+                if existing is not None:
+                    return existing
+        while shard.resident() >= shard.capacity:
+            # 2Q budget rule: until the ring has consumed its quota, a
+            # scan admission takes a frame from the protected region
+            # (coldest first) to grow the ring — so the scan's total toll
+            # on the hot set is bounded by ring_frames, paid once, instead
+            # of dripping out of a starved ring for the whole scan.  At
+            # quota the ring recycles itself; everyone else recycles the
+            # ring before touching protected.  A ghost promotion also
+            # takes from protected: its cold end is the earlier
+            # promotions (see below), so a promotion flood recycles
+            # itself there — paying with a ring frame instead would
+            # shrink the ring and hand the *next* scan admission a
+            # budget-rule claim on the hot set, over and over.
+            prefer_protected = ghost_promotion or (
+                to_ring and len(shard.ring) < shard.ring_quota
+            )
+            if not self._evict_one(
+                shard,
+                required=required and not clean_only,
+                scan=scan,
+                clean_only=clean_only,
+                prefer_protected=prefer_protected,
+                spare_window=spare_window,
+            ):
+                return None
+            existing = shard.lookup(page.page_id)
+            if existing is not None:
+                return existing
         frame = _Frame(page)
-        self._frames[page.page_id] = frame
+        frame.prefetched = prefetched
+        if to_ring:
+            frame.ring = True
+            shard.admit_seq += 1
+            frame.seq = shard.admit_seq
+            shard.ring[page.page_id] = frame
+            self.counters.add("ring_admits")
+        else:
+            shard.frames[page.page_id] = frame
+            if ghost_promotion:
+                # Promoted scan pages enter at the *cold* end: they beat
+                # the ring's churn, but a flood of them (a scan with lots
+                # of beyond-ring reuse) displaces its own earlier
+                # promotions, never the demand-touched hot set.
+                shard.frames.move_to_end(page.page_id, last=False)
         return frame
 
-    def _evict_one(self, required: bool = True) -> bool:
-        """Evict the least-recently-used unpinned frame.
+    def _evict_ring(
+        self,
+        shard: _Shard,
+        clean_only: bool = False,
+        spare_window: bool = False,
+    ) -> bool:
+        """Recycle one ring frame.
 
-        Walks from the LRU end past any pinned frames — O(pinned prefix),
-        O(1) in the common case.  Returns False (or raises, when
-        ``required``) if every frame is pinned.  A dirty victim's write may
-        wait for an in-flight batch flush of the same page; the wait drops
-        the pool lock, so the victim is revalidated afterwards.
+        Victim priority: a frame the scan *demoted* (declared finished
+        for good — :meth:`demote_page`), then a speculative frame the
+        scan has already moved past (``prefetched`` with ``seq`` at or
+        below the consumed watermark — dead weight, never coming back),
+        then the oldest consumed frame (the scan is done with it), and
+        only as a last resort the oldest not-yet-consumed frame —
+        evicting the read-ahead window re-buys its reads, so it goes
+        last (and is forbidden entirely with ``spare_window``, the
+        speculative admission paths' flag).
+
+        Within the consumed frames, two refinements: *old before young*
+        — a recently admitted frame is the current top action's working
+        set (a target still being appended to, a source its bit-clear
+        will re-latch), and evicting it re-buys a read or pays a
+        premature singleton write, so frames admitted within the last
+        eighth of the ring's quota yield to anything older — and *clean
+        before dirty* within each age class (a clean frame evicts for
+        free; a dirty one costs a write the write-behind batcher would
+        otherwise coalesce).
+
+        A dirty victim's write drops the shard lock, so the victim is
+        revalidated afterwards; with ``clean_only`` dirty frames are
+        skipped instead of written.
         """
         while True:
             victim_id = None
             victim = None
-            for pid, frame in self._frames.items():
-                if frame.pin_count == 0:
+            used = None
+            window = None
+            # A fragmented leaf chain alternates page-id regions, so the
+            # reader's run-aligned admissions land slightly out of chain
+            # order: a frame a few seqs below the watermark is usually
+            # *about* to be consumed, not bypassed.  Only frames the
+            # watermark has moved past by more than a run's worth are
+            # written off as dead.
+            dead_below = shard.consumed_seq - max(
+                1, min(shard.ring_quota // 8, self.disk.pages_per_io)
+            )
+            # Frames admitted within the last eighth of the quota are
+            # the current top action's working set; they yield to older
+            # frames (see the docstring's age classes).
+            young_floor = shard.admit_seq - max(8, shard.ring_quota // 8)
+            used_dirty = None
+            young = None
+            young_dirty = None
+            for pid, frame in shard.ring.items():
+                if frame.pin_count != 0 or (clean_only and frame.dirty):
+                    continue
+                if frame.dead:
+                    # Demoted by the scan: declared finished-for-good,
+                    # the cheapest possible victim (sits at the front).
                     victim_id, victim = pid, frame
                     break
+                if frame.prefetched and frame.seq <= dead_below:
+                    victim_id, victim = pid, frame  # bypassed speculative
+                    break
+                if not frame.prefetched:
+                    if frame.seq > young_floor:
+                        if frame.dirty:
+                            if young_dirty is None:
+                                young_dirty = (pid, frame)
+                        elif young is None:
+                            young = (pid, frame)
+                    elif frame.dirty:
+                        if used_dirty is None:
+                            used_dirty = (pid, frame)
+                    elif used is None:
+                        used = (pid, frame)
+                elif window is None:
+                    window = (pid, frame)
+            for fallback in (used, used_dirty, young, young_dirty):
+                if victim is None and fallback is not None:
+                    victim_id, victim = fallback
+            if victim is None and window is not None and not spare_window:
+                victim_id, victim = window
             if victim_id is None or victim is None:
-                if required:
-                    raise BufferError_(
-                        f"buffer pool exhausted: all {self.capacity} "
-                        "frames pinned"
-                    )
                 return False
             if victim.dirty:
-                self._write_frame(victim_id, victim)
+                self._write_ring_batch(shard, victim_id, victim)
                 if (
-                    self._frames.get(victim_id) is not victim
+                    shard.ring.get(victim_id) is not victim
                     or victim.pin_count > 0
                     or victim.dirty
                 ):
                     continue  # changed during the wait; pick again
             if victim.prefetched:
                 self.counters.add("prefetch_unused")
-            del self._frames[victim_id]
+            else:
+                # Consumed and recycled: remember the id so a re-read
+                # proves reuse beyond the ring (2Q's A1out).
+                self._remember_ghost(shard, victim_id)
+            del shard.ring[victim_id]
             return True
 
-    def _write_frame(self, page_id: int, frame: _Frame) -> None:
-        # An unlocked batch write of this page may be in flight; wait it
-        # out (the wait releases the lock) and revalidate — the flush may
-        # have cleaned the frame, or the world may have moved on.
-        while page_id in self._writing:
-            self._cond.wait()
-        if self._frames.get(page_id) is not frame or not frame.dirty:
-            return
-        if self._wal_hook is not None:
-            self._wal_hook(frame.page.page_lsn)
-        image = frame.page.to_bytes()
-        self.retrying(lambda: self.disk.write(page_id, image))
-        self.counters.add("page_writes")
-        frame.dirty = False
+    def _remember_ghost(self, shard: _Shard, page_id: int) -> None:
+        """Record a consumed ring eviction in the shard's A1out.
 
-    def _read_aligned_run(self, page_id: int) -> None:
+        2Q sizes A1out at ~half the pool: ids are 28 bytes, so
+        remembering more than the ring holds is nearly free, and a
+        too-short ghost forgets a page between reuses — it then cycles
+        read-evict-read forever unpromoted.
+        """
+        shard.ghost[page_id] = None
+        shard.ghost.move_to_end(page_id)
+        while len(shard.ghost) > max(1, shard.capacity // 2):
+            shard.ghost.popitem(last=False)
+
+    def _evict_one(
+        self,
+        shard: _Shard,
+        required: bool = True,
+        scan: bool = False,
+        clean_only: bool = False,
+        prefer_protected: bool = False,
+        spare_window: bool = False,
+    ) -> bool:
+        """Evict one frame: the ring first, then the protected LRU.
+
+        ``prefer_protected`` inverts the order (a scan admission growing
+        the ring toward its quota takes from the protected region first).
+        Returns False (or raises, when ``required``) when nothing is
+        evictable.
+        """
+        if prefer_protected:
+            if self._evict_protected(shard, scan=scan, clean_only=clean_only):
+                return True
+            if self._evict_ring(
+                shard, clean_only=clean_only, spare_window=spare_window
+            ):
+                return True
+        else:
+            if self._evict_ring(
+                shard, clean_only=clean_only, spare_window=spare_window
+            ):
+                return True
+            if self._evict_protected(shard, scan=scan, clean_only=clean_only):
+                return True
+        if required:
+            raise BufferError_(
+                f"buffer pool exhausted: all {shard.capacity} "
+                f"frames of shard {self._shards.index(shard)} pinned"
+            )
+        return False
+
+    def _evict_protected(
+        self, shard: _Shard, scan: bool = False, clean_only: bool = False
+    ) -> bool:
+        """Evict one frame from the protected LRU, coldest first.
+
+        The walk goes from the LRU end past any pinned frames — O(pinned
+        prefix), O(1) in the common case.  A dirty victim's write drops
+        the shard lock, so the victim is revalidated afterwards; with
+        ``clean_only`` dirty frames are skipped instead of written.  A
+        scan-class admission that reaches the protected region is counted
+        under ``hot_evictions_by_scan``.
+        """
+        while True:
+            victim_id = None
+            victim = None
+            for pid, frame in shard.frames.items():
+                if frame.pin_count == 0 and not (clean_only and frame.dirty):
+                    victim_id, victim = pid, frame
+                    break
+            if victim_id is None or victim is None:
+                return False
+            if victim.dirty:
+                self._write_frame(shard, victim_id, victim)
+                if (
+                    shard.frames.get(victim_id) is not victim
+                    or victim.pin_count > 0
+                    or victim.dirty
+                ):
+                    continue  # changed during the wait; pick again
+            if victim.prefetched:
+                self.counters.add("prefetch_unused")
+            del shard.frames[victim_id]
+            if scan:
+                self.counters.add("hot_evictions_by_scan")
+            return True
+
+    def _ring_headroom(self, shard: _Shard) -> bool:
+        """True when a speculative admission into ``shard`` could land.
+
+        With the ring at quota, that means some unpinned *clean* frame is
+        evictable without touching the live window: already consumed
+        (``prefetched`` cleared) or bypassed speculative (``seq`` at or
+        below the consumed watermark).  Below quota (or with the ring
+        disabled) there is always room — growth comes out of the 2Q
+        budget or the protected LRU's clean tail.
+        """
+        if shard.ring_quota <= 0 or len(shard.ring) < shard.ring_quota:
+            return True
+        live = 0
+        for frame in shard.ring.values():
+            if frame.prefetched and frame.seq > shard.consumed_seq:
+                live += 1
+        # Cap the live window at half the ring: the other half is the
+        # copy loop's working room (current targets, just-consumed
+        # sources).  A window allowed to fill the whole ring leaves the
+        # rebuild's own demand admissions nothing to recycle but the
+        # window itself.
+        return live < max(1, shard.ring_quota // 2)
+
+    def _write_ring_batch(
+        self, shard: _Shard, page_id: int, frame: _Frame
+    ) -> None:
+        """Write the dirty ring victim *and* every co-dirty ring frame in
+        one physical batch, WAL-first, with the shard lock released.
+
+        A ring eviction that writes one page per call throws away the
+        batching the write-behind forcer exists for.  The co-batched
+        frames are the *demoted* dirty ones only — the scan is finished
+        with those for good, their ids are contiguous by construction,
+        and each will cost a write on its own eviction anyway.  Writing
+        them together turns K singleton device calls into
+        ~K/pages_per_io large ones and leaves them resident-but-clean,
+        so their own later evictions become free.  Frames merely dirty
+        (the rebuild's under-construction targets, still being appended
+        to) are left alone: writing those early is a wasted call — they
+        get redirtied and written again by the transaction boundary's
+        force.  Claim/version protocol mirrors :meth:`flush_pages`;
+        only the victim's eviction is decided here, the rest just get
+        cleaned opportunistically.
+        """
+        while page_id in shard.writing:
+            shard.cond.wait()
+        if shard.ring.get(page_id) is not frame or not frame.dirty:
+            return
+        batch: dict[int, tuple[_Frame, int]] = {}
+        for pid, fr in shard.ring.items():
+            if (
+                fr.dead and fr.pin_count == 0 and fr.dirty
+                and pid not in shard.writing
+            ):
+                batch[pid] = (fr, fr.version)
+        batch[page_id] = (frame, frame.version)
+        images = {
+            pid: fr.page.to_bytes() for pid, (fr, _v) in batch.items()
+        }
+        max_lsn = max(fr.page.page_lsn for fr, _v in batch.values())
+
+        def _wal_then_write() -> None:
+            if self._wal_hook is not None:
+                self._wal_hook(max_lsn)
+            self.disk.write_many(images)
+
+        shard.writing.update(batch)
+        try:
+            self._io_unlocked(shard, _wal_then_write)
+        finally:
+            shard.writing.difference_update(batch)
+            shard.cond.notify_all()
+        self.counters.add("page_writes", len(batch))
+        for pid, (fr, version) in batch.items():
+            if shard.lookup(pid) is fr and fr.version == version:
+                fr.dirty = False
+
+    def _write_frame(self, shard: _Shard, page_id: int, frame: _Frame) -> None:
+        """Write one dirty frame, WAL-first, with the shard lock released.
+
+        An unlocked write of this page may already be in flight; wait it
+        out (the wait releases the lock) and revalidate — the flush may
+        have cleaned the frame, or the world may have moved on.  The
+        frame's image and LSN are snapshotted under the lock, the claim in
+        ``shard.writing`` keeps any overlapping writer ordered behind us,
+        and the version check afterwards keeps a mid-write change dirty.
+        """
+        while page_id in shard.writing:
+            shard.cond.wait()
+        if shard.lookup(page_id) is not frame or not frame.dirty:
+            return
+        version = frame.version
+        lsn = frame.page.page_lsn
+        image = frame.page.to_bytes()
+
+        def _wal_then_write() -> None:
+            if self._wal_hook is not None:
+                self._wal_hook(lsn)
+            self.disk.write(page_id, image)
+
+        shard.writing.add(page_id)
+        try:
+            self._io_unlocked(shard, _wal_then_write)
+        finally:
+            shard.writing.discard(page_id)
+            shard.cond.notify_all()
+        self.counters.add("page_writes")
+        if shard.lookup(page_id) is frame and frame.version == version:
+            frame.dirty = False
+
+    def _read_aligned_run(self, shard: _Shard, page_id: int, scan: bool) -> None:
         """Miss path for large_io: read the aligned run containing the page.
 
-        The physical reads run with the pool lock released (the caller
+        The physical reads run with the shard lock released (the caller
         holds the in-flight claim on ``page_id``), so residency is
         re-checked before every admission.  The target page is admitted
-        first and held pinned for the rest of the run admission: when the
-        run fills the pool, later admissions would otherwise evict the
-        not-yet-pinned target, forcing the caller to re-read it (or fail).
-        The run's other pages are an opportunistic prefetch — skipped, not
-        fatal, when no frame is evictable.
+        first and held pinned for the rest of the run admission: the
+        neighbors live in *other* shards, so the target's shard lock is
+        dropped while they are admitted, and the pin keeps pressure from
+        evicting the target meanwhile.  The run's other pages are an
+        opportunistic prefetch — skipped, not fatal, when no frame is
+        evictable.
         """
         ppio = self.disk.pages_per_io
         start = ((page_id - 1) // ppio) * ppio + 1
-        images = self._io_unlocked(lambda: self.disk.read_run(start, ppio))
+        images = self._io_unlocked(
+            shard, lambda: self.disk.read_run(start, ppio)
+        )
         target_image = images[page_id - start]
-        target_frame = self._frames.get(page_id)
-        if target_frame is None:
-            if target_image is None:
-                # read_run treats an invalid slot as absent; re-read the
-                # required page directly so the disk raises the precise
-                # error (never written vs ChecksumError).
-                target_image = self._io_unlocked(
-                    lambda: self.disk.read(page_id)
-                )
-                target_frame = self._frames.get(page_id)
+        target_frame = shard.lookup(page_id)
+        if target_frame is None and target_image is None:
+            # read_run treats an invalid slot as absent; re-read the
+            # required page directly so the disk raises the precise
+            # error (never written vs ChecksumError).
+            target_image = self._io_unlocked(
+                shard, lambda: self.disk.read(page_id)
+            )
+            target_frame = shard.lookup(page_id)
         if target_frame is None:
             target_frame = self._admit(
-                Page.from_bytes(target_image, self.disk.page_size)
+                shard,
+                Page.from_bytes(target_image, self.disk.page_size),
+                scan=scan,
             )
         target_frame.pin_count += 1
+        shard.lock.release()
         try:
             for offset, image in enumerate(images):
                 pid = start + offset
-                if (
-                    image is None
-                    or pid == page_id
-                    or pid in self._frames
-                    or pid in self._inflight
-                ):
+                if image is None or pid == page_id:
                     continue
-                admitted = self._admit(
-                    Page.from_bytes(image, self.disk.page_size),
-                    required=False,
-                )
-                if admitted is None:
-                    break
-                admitted.prefetched = True
-                self.counters.add("prefetch_admitted")
+                neighbor = self._shards[pid % self.n_shards]
+                with neighbor:
+                    if pid in neighbor.inflight or neighbor.lookup(pid):
+                        continue
+                    admitted = self._admit(
+                        neighbor,
+                        Page.from_bytes(image, self.disk.page_size),
+                        scan=scan,
+                        required=False,
+                        prefetched=True,
+                        spare_window=True,
+                    )
+                    if admitted is not None:
+                        self.counters.add("prefetch_admitted")
         finally:
+            shard.lock.acquire()
             target_frame.pin_count -= 1
 
     # --------------------------------------------------------------- prefetch
 
-    def prefetch(self, page_id: int) -> int | None:
+    def prefetch(self, page_id: int, scan: bool = False) -> int | None:
         """Opportunistically cache a page without pinning it (read-ahead).
 
         Used by the I/O scheduler's reader thread to pull upcoming source
         leaves into the pool while the copy loop is busy elsewhere.  Best
         effort on every axis: an already-resident page, a missing page, or
-        a pool with no *clean* evictable frame all end the attempt quietly —
-        a prefetch must never write a dirty page (that is the write path's
-        job) and never raises.
+        a shard with no *clean* evictable frame all end the attempt quietly
+        — a prefetch must never write a dirty page (that is the write
+        path's job) and never raises.
 
         Returns the page's ``next_page`` sibling pointer so the caller can
         chain along the leaf level without re-fetching, or ``None`` when
@@ -489,91 +1087,96 @@ class BufferPool:
         Misses read the whole aligned physical run (§6.3 large I/O), the
         same batching the demand-fetch miss path uses: one reader thread
         must be able to stay ahead of several parallel rebuild workers,
-        which it cannot do at one page per device round-trip.
+        which it cannot do at one page per device round-trip.  Only the
+        target page is claimed in-flight; a racing demand fetch of a run
+        *neighbor* may duplicate a read, which costs one physical call and
+        nothing else.  With the ring enabled, ``scan=True`` admissions go
+        to the ring's first-out end and recycle only ring frames — a
+        prefetch storm cannot touch the protected region at all.
         """
-        with self._lock:
-            frame = self._frames.get(page_id)
+        shard = self._shards[page_id % self.n_shards]
+        ppio = self.disk.pages_per_io
+        start = ((page_id - 1) // ppio) * ppio + 1 if ppio > 1 else page_id
+        with shard:
+            frame = shard.lookup(page_id)
             if frame is not None:
                 self.counters.add("prefetch_skipped_resident")
                 return frame.page.next_page
-            if page_id in self._inflight:
+            if page_id in shard.inflight:
                 # Someone is already reading it; treat like resident.
                 self.counters.add("prefetch_skipped_resident")
                 return None
-            if not self.disk.exists(page_id):
+            if page_id in shard.ghost:
+                # The scan already consumed this page and the ring
+                # recycled it.  A read-ahead hint pointing here is the
+                # reader lagging behind the copy loop — re-reading a page
+                # in the scan's wake is pure waste (if the rebuild does
+                # re-latch it, that demand fetch promotes it out of the
+                # ring via the ghost entry).  Drop the hint unread; the
+                # reader resumes from a later chain position.
+                self.counters.add("prefetch_skipped_consumed")
                 return None
-            if len(self._frames) >= self.capacity and not self._evict_one_clean():
+            if not self._ring_headroom(shard):
+                # The ring is wall-to-wall with the not-yet-consumed
+                # read-ahead window: admitting more would either fail or
+                # eat the window itself.  Refuse *before* paying the
+                # physical read — the reader thread stops here and the
+                # next prefetch hint retries from a later chain position,
+                # so the window stays sized to what the ring can hold.
+                self.counters.add("prefetch_throttled")
                 return None
-            ppio = self.disk.pages_per_io
-            start = ((page_id - 1) // ppio) * ppio + 1
-            claim = [
-                pid
-                for pid in range(start, start + ppio)
-                if pid not in self._frames and pid not in self._inflight
-            ]
-            self._inflight.update(claim)
+            shard.inflight.add(page_id)
             try:
+                if not self._io_unlocked(
+                    shard, lambda: self.disk.exists(page_id)
+                ):
+                    return None
                 if ppio > 1:
                     images = self._io_unlocked(
-                        lambda: self.disk.read_run(start, ppio)
+                        shard, lambda: self.disk.read_run(start, ppio)
                     )
                 else:
-                    images = [self._io_unlocked(
-                        lambda: self.disk.read(page_id)
-                    )]
-                    start = page_id
+                    images = [
+                        self._io_unlocked(
+                            shard, lambda: self.disk.read(page_id)
+                        )
+                    ]
             except Exception:
                 # Best effort on every axis: the page may have been freed
                 # between the exists check and the read.
                 return None
             finally:
-                self._inflight.difference_update(claim)
-                self._cond.notify_all()
-            # The lock was released during the read: re-check capacity
-            # (the pool may have filled) and residency (a page cannot have
-            # been admitted while we held its in-flight claim, but stay
-            # defensive — a duplicate admit would orphan pin counts).
-            next_page: int | None = None
-            # Admit the target first: when the run fills the pool, the
-            # neighbors are the ones to skip.
-            order = sorted(
-                range(len(images)), key=lambda o: start + o != page_id
-            )
-            for offset in order:
-                image = images[offset]
-                pid = start + offset
-                if image is None or pid not in claim:
+                shard.inflight.discard(page_id)
+                shard.cond.notify_all()
+        # All locks are dropped now; admit page by page, target first (when
+        # a shard's slice fills, the neighbors are the ones to skip).
+        next_page: int | None = None
+        order = sorted(
+            range(len(images)), key=lambda o: start + o != page_id
+        )
+        for offset in order:
+            image = images[offset]
+            pid = start + offset
+            if image is None:
+                continue
+            target = self._shards[pid % self.n_shards]
+            with target:
+                resident = target.lookup(pid)
+                if resident is not None or pid in target.inflight:
+                    if pid == page_id and resident is not None:
+                        next_page = resident.page.next_page
                     continue
-                if pid in self._frames:
-                    if pid == page_id:
-                        next_page = self._frames[pid].page.next_page
-                    continue
-                if (
-                    len(self._frames) >= self.capacity
-                    and not self._evict_one_clean()
-                ):
-                    break
                 page = Page.from_bytes(image, self.disk.page_size)
-                frame = _Frame(page)
-                frame.prefetched = True
-                self._frames[pid] = frame
-                # Admit at the LRU end: a prefetched page that is never
-                # fetched should be the first thing pressure reclaims.
-                self._frames.move_to_end(pid, last=False)
+                admitted = self._admit(
+                    target, page, scan=scan, required=False,
+                    prefetched=True, clean_only=True, spare_window=True,
+                )
+                if admitted is None:
+                    continue
                 self.counters.add("prefetch_admitted")
                 if pid == page_id:
                     next_page = page.next_page
-            return next_page
-
-    def _evict_one_clean(self) -> bool:
-        """Evict the least-recently-used *clean* unpinned frame, if any."""
-        for pid, frame in self._frames.items():
-            if frame.pin_count == 0 and not frame.dirty:
-                if frame.prefetched:
-                    self.counters.add("prefetch_unused")
-                del self._frames[pid]
-                return True
-        return False
+        return next_page
 
     def evict_all(self) -> None:
         """Flush every dirty page, then drop all unpinned frames.
@@ -581,9 +1184,11 @@ class BufferPool:
         Cold-cache helper for benchmarks: the next phase starts with an
         empty pool but a consistent disk image.
         """
-        with self._lock:
-            self._flush_pages_locked(list(self._frames))
-            for pid in [
-                pid for pid, f in self._frames.items() if f.pin_count == 0
-            ]:
-                del self._frames[pid]
+        self.flush_all()
+        for shard in self._shards:
+            with shard:
+                for table in (shard.frames, shard.ring):
+                    for pid in [
+                        pid for pid, f in table.items() if f.pin_count == 0
+                    ]:
+                        del table[pid]

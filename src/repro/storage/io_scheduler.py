@@ -358,7 +358,9 @@ class IOScheduler:
                 for _ in range(npages):
                     if pid == NO_PAGE:
                         break
-                    nxt = self.buffer.prefetch(pid)
+                    # Read-ahead is scan-class: with the ring enabled it
+                    # recycles ring frames and never displaces hot pages.
+                    nxt = self.buffer.prefetch(pid, scan=True)
                     if nxt is None:
                         break
                     pid = nxt

@@ -1,0 +1,124 @@
+"""Property-based tests: buffer-pool replacement invariants (issue 8).
+
+Random interleavings of demand fetches, scan fetches, prefetches, pins,
+dirtying, and new-page allocations against pools of varying shard/ring
+geometry must never (a) evict a pinned frame, (b) exceed total or
+per-shard capacity, or (c) let a scan through an enabled ring change a
+pure-OLTP workload's hit pattern.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.counters import Counters
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+PAGE_IDS = list(range(1, 61))
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["fetch", "scan", "prefetch", "pin", "new"]),
+        st.sampled_from(PAGE_IDS),
+        st.booleans(),  # dirty-on-unpin for fetch/pin ops
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+geometry = st.tuples(
+    st.sampled_from([8, 16, 24, 32]),   # capacity
+    st.sampled_from([1, 2, 3]),          # shards
+    st.sampled_from([0, 2, 5]),          # ring frames
+)
+
+
+def _make_pool(capacity: int, shards: int, ring: int) -> BufferPool:
+    counters = Counters()
+    disk = Disk(counters=counters)
+    for pid in PAGE_IDS:
+        disk.write(pid, Page(pid, disk.page_size).to_bytes())
+    pool = BufferPool(
+        disk, capacity=capacity, counters=counters,
+        shards=shards, ring_frames=ring,
+    )
+    return pool
+
+
+@given(ops=op_strategy, geom=geometry)
+@settings(max_examples=120, deadline=None)
+def test_pins_capacity_and_shard_quotas_hold(ops, geom):
+    capacity, shards, ring = geom
+    if capacity // shards < 8:
+        shards = 1
+    pool = _make_pool(capacity, shards, ring)
+    pinned: dict[int, int] = {}
+    try:
+        for op, pid, dirty in ops:
+            if op == "fetch":
+                pool.fetch(pid)
+                pool.unpin(pid, dirty=dirty)
+            elif op == "scan":
+                pool.fetch(pid, scan=True)
+                pool.unpin(pid, dirty=dirty)
+            elif op == "prefetch":
+                pool.prefetch(pid, scan=dirty)
+            elif op == "pin":
+                # Hold a pin across later operations (bounded so the pool
+                # cannot legitimately exhaust: < 8 frames pinned at once).
+                if len(pinned) < 7 and pid not in pinned:
+                    pool.fetch(pid)
+                    pinned[pid] = 1
+            elif op == "new":
+                target = pid + 100  # fresh ids, never pinned elsewhere
+                if not pool.is_resident(target):
+                    pool.new_page(target, scan=dirty)
+                    pool.unpin(target, dirty=True)
+
+            # Invariant: a pinned page is always resident.
+            for held in pinned:
+                assert pool.is_resident(held), f"pinned {held} evicted"
+                assert pool.pin_count(held) >= 1
+            # Invariant: capacity bounds hold globally and per shard.
+            total = 0
+            for shard in pool._shards:
+                resident = shard.resident()
+                assert resident <= shard.capacity
+                total += resident
+            assert total <= capacity
+    finally:
+        for held in pinned:
+            pool.unpin(held)
+    # Everything still flushes and survives a reread.
+    pool.flush_all()
+
+
+@given(
+    hot=st.lists(
+        st.sampled_from(PAGE_IDS[:12]), min_size=5, max_size=60
+    ),
+    scan_pages=st.lists(
+        st.sampled_from(PAGE_IDS[20:]), min_size=0, max_size=60
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_oltp_hit_pattern_unchanged_by_scan_with_ring(hot, scan_pages):
+    # Run the OLTP sequence alone, then the same sequence with a synthetic
+    # scan interleaved after every op, through a ring-enabled pool big
+    # enough for the OLTP working set.  The demand hit/miss totals must
+    # be identical: the ring absorbed the scan completely.
+    def run(with_scan: bool) -> tuple[int, int]:
+        pool = _make_pool(capacity=16, shards=1, ring=4)
+        scans = iter(scan_pages if with_scan else [])
+        for pid in hot:
+            pool.fetch(pid)
+            pool.unpin(pid)
+            nxt = next(scans, None)
+            if nxt is not None:
+                pool.fetch(nxt, scan=True)
+                pool.unpin(nxt)
+        snap = pool.counters.snapshot()
+        return snap["pool_demand_hits"], snap["pool_demand_misses"]
+
+    assert run(False) == run(True)

@@ -16,7 +16,20 @@ lists:
 6.  every reachable page is in ALLOCATED state, belongs to this index, and
     (in a quiesced tree) carries no protocol bits.
 
-The checker acquires no latches: callers run it on a quiesced engine.
+The module is split in two layers:
+
+* **Online-safe per-page checks** (``leaf_local_problems`` /
+  ``nonleaf_local_problems`` / ``page_plumbing_problems``) examine one
+  page against locally known bounds and return a list of problem strings
+  instead of raising.  The integrity scrubber
+  (:mod:`repro.core.scrubber`) runs these under brief S latches against a
+  latched parent snapshot, concurrent with writers.
+* **The offline whole-tree pass** (:func:`verify_tree`) recurses over the
+  quiesced tree with no latches, raising
+  :class:`~repro.errors.TreeStructureError` on the first violation.
+  Every error message names the offending page id(s) *and* the
+  root-to-leaf path that reached them, so a verifier failure in a long
+  randomized run is diagnosable from the message alone.
 """
 
 from __future__ import annotations
@@ -44,15 +57,116 @@ class TreeStats:
     leaf_page_ids: list[int] = field(default_factory=list)
 
 
+# ------------------------------------------------- online-safe local checks
+
+
+def page_plumbing_problems(
+    ctx: EngineContext,
+    index_id: int,
+    page_id: int,
+    page: Page | None = None,
+    quiesced: bool = True,
+) -> list[str]:
+    """Allocation-state / ownership / protocol-bit problems of one page.
+
+    With ``quiesced=False`` (the scrubber's online mode) protocol bits are
+    *not* a problem — they describe an in-flight top action, which a
+    concurrent verifier must tolerate, not report.
+    """
+    problems: list[str] = []
+    state = ctx.page_manager.state(page_id)
+    if state is not PageState.ALLOCATED:
+        return [f"page {page_id} reachable from the tree is {state.value}"]
+    if page is None:
+        page = ctx.buffer.fetch(page_id)
+        ctx.buffer.unpin(page_id)
+    if page.index_id != index_id:
+        problems.append(
+            f"page {page_id} belongs to index {page.index_id}, "
+            f"expected {index_id}"
+        )
+    if quiesced and page.flags != PageFlag.NONE:
+        problems.append(
+            f"page {page_id} carries protocol bits {page.flags!r} "
+            "in a quiesced tree"
+        )
+    return problems
+
+
+def leaf_local_problems(
+    page: Page, low: bytes | None, high: bytes | None
+) -> list[str]:
+    """Local invariant problems of one leaf against its separator bounds.
+
+    ``[low, high)`` is the half-open key range the parent's separators
+    assign to this leaf (None = unbounded).  Safe to run under a brief S
+    latch concurrent with writers — it reads only this page.
+    """
+    pid = page.page_id
+    problems: list[str] = []
+    if page.level != 0:
+        problems.append(f"leaf {pid} has level {page.level}")
+    prev: bytes | None = None
+    for unit in page.rows:
+        if prev is not None and not prev < unit:
+            problems.append(
+                f"leaf {pid}: units not strictly increasing "
+                f"({prev!r} !< {unit!r})"
+            )
+            break
+        prev = unit
+    if page.nrows:
+        if low is not None and page.rows[0] < low:
+            problems.append(
+                f"leaf {pid}: unit {page.rows[0]!r} below subtree "
+                f"bound {low!r}"
+            )
+        if high is not None and page.rows[-1] >= high:
+            problems.append(
+                f"leaf {pid}: unit {page.rows[-1]!r} at/above subtree "
+                f"bound {high!r}"
+            )
+    return problems
+
+
+def nonleaf_local_problems(page: Page) -> list[str]:
+    """Local invariant problems of one nonleaf page (separator ordering)."""
+    pid = page.page_id
+    if page.nrows == 0:
+        return [f"nonleaf {pid} has no entries"]
+    problems: list[str] = []
+    entries = node.entries(page)
+    if entries[0].key != b"":
+        problems.append(
+            f"nonleaf {pid}: first entry has separator "
+            f"{entries[0].key!r}, expected empty"
+        )
+    for a, b in zip(entries[1:], entries[2:]):
+        if not a.key < b.key:
+            problems.append(
+                f"nonleaf {pid}: separators not increasing "
+                f"({a.key!r} !< {b.key!r})"
+            )
+            break
+    return problems
+
+
+# ----------------------------------------------------- offline tree walker
+
+
 def verify_tree(ctx: EngineContext, tree: "object") -> TreeStats:
-    """Validate every invariant; raises TreeStructureError on violation."""
+    """Validate every invariant; raises TreeStructureError on violation.
+
+    Acquires no latches: callers run it on a quiesced engine.  The online
+    counterpart is the scrubber (:mod:`repro.core.scrubber`).
+    """
     stats = TreeStats()
-    root = _fetch(ctx, tree, tree.root_page_id)
+    root = _fetch(ctx, tree, tree.root_page_id, path=[])
     stats.height = root.level + 1
     structure_leaves: list[int] = []
     _check_subtree(
         ctx, tree, root, low=None, high=None, leaves=structure_leaves,
-        stats=stats,
+        stats=stats, path=[root.page_id],
     )
     _check_chain(ctx, tree, structure_leaves, stats)
     stats.leaf_pages = len(structure_leaves)
@@ -64,24 +178,27 @@ def verify_tree(ctx: EngineContext, tree: "object") -> TreeStats:
     return stats
 
 
-def _fetch(ctx: EngineContext, tree: "object", page_id: int) -> Page:
-    if ctx.page_manager.state(page_id) is not PageState.ALLOCATED:
-        raise TreeStructureError(
-            f"page {page_id} reachable from the tree is "
-            f"{ctx.page_manager.state(page_id).value}"
-        )
+def _path_note(path: list[int]) -> str:
+    """Human-readable root-to-leaf path suffix for error messages."""
+    if not path:
+        return " (path: root)"
+    return " (path: " + " -> ".join(str(pid) for pid in path) + ")"
+
+
+def _fail(path: list[int], message: str) -> None:
+    raise TreeStructureError(message + _path_note(path))
+
+
+def _fetch(
+    ctx: EngineContext, tree: "object", page_id: int, path: list[int]
+) -> Page:
+    problems = page_plumbing_problems(
+        ctx, tree.index_id, page_id, quiesced=True
+    )
+    if problems:
+        _fail(path, "; ".join(problems))
     page = ctx.buffer.fetch(page_id)
     ctx.buffer.unpin(page_id)
-    if page.index_id != tree.index_id:
-        raise TreeStructureError(
-            f"page {page_id} belongs to index {page.index_id}, "
-            f"expected {tree.index_id}"
-        )
-    if page.flags != PageFlag.NONE:
-        raise TreeStructureError(
-            f"page {page_id} carries protocol bits {page.flags!r} "
-            "in a quiesced tree"
-        )
     return page
 
 
@@ -93,37 +210,30 @@ def _check_subtree(
     high: bytes | None,
     leaves: list[int],
     stats: TreeStats,
+    path: list[int],
 ) -> None:
-    """Recursively check ``page`` covering keys in ``[low, high)``."""
+    """Recursively check ``page`` covering keys in ``[low, high)``.
+
+    ``path`` is the root-to-here page-id trail, included in every error.
+    """
     if page.page_type is PageType.LEAF:
-        if page.level != 0:
-            raise TreeStructureError(
-                f"leaf {page.page_id} has level {page.level}"
-            )
-        _check_leaf_rows(page, low, high)
+        problems = leaf_local_problems(page, low, high)
+        if problems:
+            _fail(path, "; ".join(problems))
         leaves.append(page.page_id)
         stats.rows += page.nrows
         stats.leaf_fill += page.fill_fraction()
         return
 
-    if page.nrows == 0:
-        raise TreeStructureError(f"nonleaf {page.page_id} has no entries")
+    problems = nonleaf_local_problems(page)
+    if problems:
+        _fail(path, "; ".join(problems))
     entries = node.entries(page)
-    if entries[0].key != b"":
-        raise TreeStructureError(
-            f"nonleaf {page.page_id}: first entry has separator "
-            f"{entries[0].key!r}, expected empty"
-        )
-    for a, b in zip(entries[1:], entries[2:]):
-        if not a.key < b.key:
-            raise TreeStructureError(
-                f"nonleaf {page.page_id}: separators not increasing "
-                f"({a.key!r} !< {b.key!r})"
-            )
     if len(entries) >= 2 and low is not None and entries[1].key <= low:
-        raise TreeStructureError(
+        _fail(
+            path,
             f"nonleaf {page.page_id}: separator {entries[1].key!r} is not "
-            f"above the subtree low bound {low!r}"
+            f"above the subtree low bound {low!r}",
         )
     stats.nonleaf_pages += 1
     if page.level == 1:
@@ -131,33 +241,20 @@ def _check_subtree(
         stats.level1_fill += page.fill_fraction()
 
     for i, entry in enumerate(entries):
-        child = _fetch(ctx, tree, entry.child)
+        child_path = path + [entry.child]
+        child = _fetch(ctx, tree, entry.child, child_path)
         if child.level != page.level - 1:
-            raise TreeStructureError(
+            _fail(
+                child_path,
                 f"child {entry.child} of {page.page_id} has level "
-                f"{child.level}, expected {page.level - 1}"
+                f"{child.level}, expected {page.level - 1}",
             )
         child_low = low if i == 0 else entry.key
         child_high = entries[i + 1].key if i + 1 < len(entries) else high
-        _check_subtree(ctx, tree, child, child_low, child_high, leaves, stats)
-
-
-def _check_leaf_rows(page: Page, low: bytes | None, high: bytes | None) -> None:
-    prev: bytes | None = None
-    for unit in page.rows:
-        if prev is not None and not prev < unit:
-            raise TreeStructureError(
-                f"leaf {page.page_id}: units not strictly increasing"
-            )
-        if low is not None and unit < low:
-            raise TreeStructureError(
-                f"leaf {page.page_id}: unit below subtree bound {low!r}"
-            )
-        if high is not None and unit >= high:
-            raise TreeStructureError(
-                f"leaf {page.page_id}: unit at/above subtree bound {high!r}"
-            )
-        prev = unit
+        _check_subtree(
+            ctx, tree, child, child_low, child_high, leaves, stats,
+            path=child_path,
+        )
 
 
 def _check_chain(
@@ -173,35 +270,48 @@ def _check_chain(
     prev_id = NO_PAGE
     page_id = structure_leaves[0]
     last_unit: bytes | None = None
+    last_unit_page = NO_PAGE
     while page_id != NO_PAGE:
-        page = _fetch(ctx, tree, page_id)
+        path = [tree.root_page_id, page_id]
+        page = _fetch(ctx, tree, page_id, path)
         if page.page_type is not PageType.LEAF:
-            raise TreeStructureError(
-                f"chain page {page_id} is {page.page_type.name}, not a leaf"
+            _fail(
+                path,
+                f"chain page {page_id} is {page.page_type.name}, not a leaf",
             )
         if page.prev_page != prev_id:
-            raise TreeStructureError(
-                f"leaf {page_id}: prev is {page.prev_page}, expected {prev_id}"
+            _fail(
+                path,
+                f"leaf {page_id}: prev is {page.prev_page}, "
+                f"expected {prev_id}",
             )
         if page.nrows:
             if last_unit is not None and not last_unit < page.rows[0]:
-                raise TreeStructureError(
-                    f"leaf {page_id}: first unit not above the previous "
-                    "leaf's last unit"
+                _fail(
+                    path,
+                    f"leaf {page_id}: first unit {page.rows[0]!r} not above "
+                    f"the previous leaf {last_unit_page}'s last unit "
+                    f"{last_unit!r}",
                 )
             last_unit = page.rows[-1]
+            last_unit_page = page_id
         chain.append(page_id)
         prev_id = page_id
         page_id = page.next_page
     if chain != structure_leaves:
-        raise TreeStructureError(
+        _fail(
+            [tree.root_page_id],
             f"leaf chain {chain} differs from tree-structure leaves "
-            f"{structure_leaves}"
+            f"{structure_leaves}",
         )
-    first = _fetch(ctx, tree, structure_leaves[0])
+    first = _fetch(
+        ctx, tree, structure_leaves[0],
+        [tree.root_page_id, structure_leaves[0]],
+    )
     if first.prev_page != NO_PAGE:
-        raise TreeStructureError(
-            f"first leaf {first.page_id} has prev {first.prev_page}"
+        _fail(
+            [tree.root_page_id, first.page_id],
+            f"first leaf {first.page_id} has prev {first.prev_page}",
         )
 
 

@@ -21,6 +21,7 @@ from repro.concurrency.latch import LatchManager, LatchMode
 from repro.concurrency.locks import LockManager
 from repro.concurrency.syncpoints import SyncPoints
 from repro.concurrency.txn import Transaction, TransactionManager
+from repro.quarantine import QuarantineMap
 from repro.stats.counters import Counters
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import Disk
@@ -48,6 +49,10 @@ class EngineContext:
     index_roots: dict[int, int]
     """Index id -> root page id; shared with the undo applier so leaf-level
     records can be undone logically (see :mod:`repro.wal.apply`)."""
+    quarantine: QuarantineMap
+    """Damaged-key-range fencing installed by the integrity scrubber; every
+    index operation consults it via its lock-free ``active`` flag (see
+    :mod:`repro.quarantine`)."""
 
     @classmethod
     def create(
@@ -149,6 +154,7 @@ class EngineContext:
             counters=counters,
             syncpoints=SyncPoints(),
             index_roots=index_roots,
+            quarantine=QuarantineMap(counters=counters, log=log),
         )
         txns.set_undo_applier(
             lambda rec, clr_lsn: undo_record(

@@ -4,6 +4,12 @@ from repro.core.config import RebuildConfig
 from repro.core.offline import OfflineReport, offline_rebuild, table_lock_resource
 from repro.core.propagation import PropagationEntry, PropOp
 from repro.core.rebuild import OnlineRebuild, RebuildReport
+from repro.core.scrubber import (
+    ScrubConfig,
+    ScrubDefect,
+    Scrubber,
+    ScrubReport,
+)
 from repro.core.supervisor import (
     RebuildSupervisor,
     SupervisorConfig,
@@ -18,6 +24,10 @@ __all__ = [
     "RebuildConfig",
     "RebuildReport",
     "RebuildSupervisor",
+    "ScrubConfig",
+    "ScrubDefect",
+    "ScrubReport",
+    "Scrubber",
     "SupervisorConfig",
     "SupervisorReport",
     "offline_rebuild",

@@ -221,6 +221,18 @@ def _build_leaves(
         )
         if prev != NO_PAGE:
             prev_page = ctx.buffer.fetch(prev)
+            # Logged, not just patched: the durable log must hold the
+            # page's complete history or the scrubber's replay repair
+            # would reconstruct the leaf without its chain link.
+            ctx.log_page_change(
+                txn,
+                LogRecord(
+                    type=RecordType.CHANGENEXTLINK,
+                    old_next=NO_PAGE,
+                    new_next=pid,
+                ),
+                prev_page,
+            )
             prev_page.next_page = pid
             ctx.buffer.unpin(prev, dirty=True)
         out.append((pid, sep))

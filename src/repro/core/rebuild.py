@@ -413,6 +413,12 @@ class OnlineRebuild:
         while not done:
             txn = ctx.txns.begin()
             txn_new_pages: list[int] = []
+            # Old PP pages that absorbed seam rows this transaction: they
+            # are keycopy *targets*, so the §3 force must cover them too —
+            # a stale target makes redo re-read the source pages, which a
+            # repair rebuild may have been launched precisely because they
+            # are unreadable on disk.
+            txn_force_pages: set[int] = set()
             pages_this_txn = 0
             try:
                 while pages_this_txn < config.xactsize and not done:
@@ -450,6 +456,7 @@ class OnlineRebuild:
                     outcome = self._one_top_action(
                         txn, chunk_alloc, traversal, p1, txn_new_pages,
                         report,
+                        txn_force_pages=txn_force_pages,
                         stop_before=stop_before,
                         fill_pp=filled_one,
                         pp_busy_wait=(
@@ -480,10 +487,18 @@ class OnlineRebuild:
             except CrashPoint:
                 raise  # simulated power failure: skip the abort protocol
             except BaseException as exc:
-                self._abort(txn, txn_new_pages, report)
+                self._abort(
+                    txn,
+                    txn_new_pages
+                    + sorted(txn_force_pages.difference(txn_new_pages)),
+                    report,
+                )
                 raise RebuildAbortedError(
                     f"online rebuild aborted: {exc}"
                 ) from exc
+            force_pages = txn_new_pages + sorted(
+                txn_force_pages.difference(txn_new_pages)
+            )
             # §3 transaction boundary: force new pages, commit, free old.
             # Pipelined, the force is a barrier on the write-behind queue —
             # the wait below IS the durability point; a writer failure must
@@ -491,18 +506,18 @@ class OnlineRebuild:
             # freed, so the invariant is enforced, never assumed.
             try:
                 if self._scheduler is not None:
-                    self._scheduler.force(txn_new_pages).wait()
+                    self._scheduler.force(force_pages).wait()
                 else:
-                    ctx.buffer.flush_pages(txn_new_pages)
+                    ctx.buffer.flush_pages(force_pages)
             except CrashPoint:
                 raise
             except BaseException as exc:
-                self._abort(txn, txn_new_pages, report)
+                self._abort(txn, force_pages, report)
                 raise RebuildAbortedError(
                     f"online rebuild aborted: {exc}"
                 ) from exc
             ctx.syncpoints.fire(
-                "rebuild.txn_flushed", new_pages=list(txn_new_pages)
+                "rebuild.txn_flushed", new_pages=list(force_pages)
             )
             if (
                 self._progress_enabled
@@ -862,6 +877,7 @@ class OnlineRebuild:
         stop_before: bytes | None = None,
         fill_pp: bool = True,
         pp_busy_wait=None,
+        txn_force_pages: set[int] | None = None,
     ) -> tuple[bytes, bool, int] | None:
         """Run one multipage rebuild top action starting at leaf ``p1``.
 
@@ -923,6 +939,12 @@ class OnlineRebuild:
         if config.ring_frames > 0 and scheduler is not None:
             scheduler.submit_write(cleanup)
         txn_new_pages.extend(nta_new_pages)
+        if txn_force_pages is not None and result.pp_page != NO_PAGE:
+            # PP received this top action's seam rows (and its next-link
+            # flip) through the keycopy record; §3 forces it with the new
+            # pages so redo never needs the — possibly unreadable — old
+            # source images.
+            txn_force_pages.add(result.pp_page)
         if scheduler is not None:
             # Eager write-behind: this top action's pages are final for the
             # rest of the transaction, so the writer can start cleaning

@@ -156,12 +156,22 @@ class RebuildSupervisor:
     # -------------------------------------------------------------- lifecycle
 
     def run(
-        self, resume_checkpoint: RebuildCheckpoint | None = None
+        self,
+        resume_checkpoint: RebuildCheckpoint | None = None,
+        start_key: bytes | None = None,
+        end_key: bytes | None = None,
     ) -> SupervisorReport:
         """Drive the rebuild to completion, retrying and degrading as
         needed.  ``resume_checkpoint`` (from :meth:`Engine.recover`)
         resumes an interrupted rebuild's durable progress; later attempts
         resume from whatever the failed attempt itself reported.
+
+        ``start_key`` / ``end_key`` scope every attempt to one key range —
+        the integrity scrubber's *targeted repair* dispatch (a quarantined
+        segment is rebuilt through here, with the same retry/watchdog/
+        throttle machinery as a full rebuild).  Retries keep the end bound
+        and resume strictly after the failed attempt's progress, so a
+        range repair never repays completed top actions either.
 
         Raises the last attempt's error after ``max_attempts`` failures
         (counter ``supervisor_gave_up``); re-raises a
@@ -193,6 +203,11 @@ class RebuildSupervisor:
             monitor.start()
             try:
                 final = rebuild.run(
+                    # A resume supersedes the start bound (the driver
+                    # restarts strictly after the durable progress); the
+                    # end bound caps every attempt of a range repair.
+                    start_key=start_key if resume_after is None else None,
+                    end_key=end_key,
                     resume_after=resume_after,
                     resume_checkpoint=(
                         resume_checkpoint if attempt == 1 else None

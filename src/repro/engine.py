@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from repro.btree.tree import BTree
 from repro.context import EngineContext
-from repro.errors import ReproError
+from repro.errors import ChecksumError, ReproError
+from repro.quarantine import QuarantineMap, quarantine_payload
 from repro.stats.counters import Counters
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageFlag
 from repro.wal.records import LogRecord, RecordType
@@ -119,6 +120,12 @@ class Engine:
     def syncpoints(self):  # noqa: ANN201
         return self.ctx.syncpoints
 
+    @property
+    def quarantine(self) -> QuarantineMap:
+        """Damaged-range fencing (see :mod:`repro.quarantine`): empty until
+        the integrity scrubber quarantines a rotted segment for repair."""
+        return self.ctx.quarantine
+
     # ---------------------------------------------------------------- catalog
 
     def create_index(self, key_len: int, index_id: int | None = None) -> BTree:
@@ -171,6 +178,7 @@ class Engine:
                 }
                 for index_id, tree in self.indexes.items()
             },
+            "quarantine": quarantine_payload(self.ctx.quarantine.ranges()),
         }
         rec = LogRecord(type=RecordType.CHECKPOINT, payload_json=payload)
         lsn = self.ctx.log.append(rec)
@@ -193,6 +201,7 @@ class Engine:
         ctx = self.ctx
         ctx.buffer.crash()
         ctx.log.crash()
+        ctx.quarantine.clear()  # volatile; recovery re-fences from the log
         self.indexes.clear()
         from repro.concurrency.latch import LatchManager
         from repro.concurrency.locks import LockManager
@@ -221,6 +230,9 @@ class Engine:
         )
         report = manager.recover()
         self.rebuild_checkpoints = dict(report.rebuild_checkpoints)
+        # Re-fence damaged ranges that were standing at the crash: sets are
+        # flushed at fence time, so a known-rotted range is never forgotten.
+        self.ctx.quarantine.restore(report.quarantine_ranges)
         self._clear_protocol_bits()
         self.indexes = {
             int(index_id): BTree(
@@ -241,7 +253,13 @@ class Engine:
     def _clear_protocol_bits(self) -> None:
         """Bits describe in-flight top actions; after a crash there are none."""
         for page_id in self.ctx.page_manager.allocated_pages():
-            page = self.ctx.buffer.fetch(page_id)
+            try:
+                page = self.ctx.buffer.fetch(page_id)
+            except ChecksumError:
+                # Rotted image with no redo history to rebuild it: leave
+                # it allocated and unreadable for the scrubber's repair
+                # ladder rather than failing the whole recovery.
+                continue
             dirty = False
             if page.flags != PageFlag.NONE or page.side_page:
                 page.clear_flag(PageFlag.SPLIT)

@@ -144,6 +144,33 @@ class TreeStructureError(BTreeError):
     """The structural verifier found a broken invariant."""
 
 
+class QuarantinedRangeError(BTreeError):
+    """The operation touched a key range quarantined for repair.
+
+    The integrity scrubber (:mod:`repro.core.scrubber`) quarantines the key
+    range covering a page whose stored image is rotted beyond WAL replay,
+    then dispatches a targeted online rebuild of just that segment.  Until
+    the repair commits, reads and writes inside the range fail fast with
+    this error — *not* :class:`ChecksumError`, because the damage is known,
+    bounded, and being repaired — while the rest of the index serves
+    traffic normally.  Deliberately not a :class:`StorageError`: workload
+    drivers must treat it as a bounded availability event, not an I/O fault.
+    """
+
+    def __init__(
+        self, message: str, index_id: int = 0,
+        start_unit: bytes = b"", end_unit: bytes = b"",
+    ) -> None:
+        super().__init__(message)
+        self.index_id = index_id
+        self.start_unit = start_unit
+        self.end_unit = end_unit
+
+
+class ScrubError(ReproError):
+    """The integrity scrubber found damage it could not classify or repair."""
+
+
 class RebuildError(ReproError):
     """Online rebuild could not make progress or was misconfigured."""
 

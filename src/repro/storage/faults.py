@@ -173,6 +173,9 @@ class FaultyDisk:
         injection sites from these."""
         self.write_many_sizes: list[int] = []
         """Batch size of every write_many call, for torn-prefix choices."""
+        self.rot_sites: list[int] = []
+        """Page ids corrupted via :meth:`plant_rot`, in planting order —
+        the scrubber tests assert every site is found within one pass."""
         self._lock = threading.Lock()
         self._crash_armed = False
 
@@ -192,6 +195,27 @@ class FaultyDisk:
         recovery runs against a disk that is now behaving."""
         with self._lock:
             self._crash_armed = False
+
+    def plant_rot(self, page_id: int, bit: int = 0) -> bool:
+        """Corrupt the stored image of ``page_id`` *now* (scrub-site
+        targeting): flip one bit of the physical blob so the CRC trailer
+        no longer matches.  Unlike a :class:`FaultSpec` CORRUPT — which
+        arms on the *n*-th ``read`` call — this plants silent rot that
+        nothing notices until the integrity scrubber's physical sweep or
+        an unlucky refetch.  Returns False when nothing is stored yet.
+        """
+        blob = self.inner.read_physical(page_id)
+        if blob is None:
+            return False
+        flipped = bytearray(blob)
+        byte_index = (bit // 8) % len(flipped)
+        flipped[byte_index] ^= 1 << (bit % 8)
+        self.inner.write_physical(page_id, bytes(flipped))
+        with self._lock:
+            self.rot_sites.append(page_id)
+        self.counters.add("faults_injected")
+        self.plan.record(f"rot:page{page_id}@bit{bit}")
+        return True
 
     # ------------------------------------------------------------- injection
 

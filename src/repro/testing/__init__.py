@@ -9,6 +9,8 @@ from repro.testing.crashsched import (
     CrashScheduleHarness,
     Schedule,
     ScheduleOutcome,
+    ScrubCrashHarness,
+    ScrubSweepReport,
     SweepReport,
 )
 
@@ -16,5 +18,7 @@ __all__ = [
     "CrashScheduleHarness",
     "Schedule",
     "ScheduleOutcome",
+    "ScrubCrashHarness",
+    "ScrubSweepReport",
     "SweepReport",
 ]

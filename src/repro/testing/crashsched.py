@@ -484,6 +484,234 @@ class CrashScheduleHarness:
         return report
 
 
+# ------------------------------------------------------------- scrub sweeps
+
+
+@dataclass
+class ScrubScheduleOutcome:
+    """What one scrub crash schedule observed."""
+
+    schedule: str
+    crashed: bool = False
+    recovered: bool = False
+    refenced: bool = False
+    """Recovery reconstructed at least one quarantined range from the log."""
+    final_quarantined: int = 0
+    """Standing quarantined ranges after the post-recovery scrub pass."""
+    healed: bool = False
+    """Every expected key was readable at the end (no data loss)."""
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ScrubSweepReport:
+    """Aggregate of a scrub crash sweep — the EXPERIMENTS.md E10 numbers."""
+
+    schedules_run: int = 0
+    crashes_simulated: int = 0
+    refences_seen: int = 0
+    heals: int = 0
+    quarantines_standing: int = 0
+    failures: list[str] = field(default_factory=list)
+    outcomes: list[ScrubScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class ScrubCrashHarness:
+    """Crash the scrubber's detect→quarantine→rebuild→lift ladder at every
+    ``scrub.*`` syncpoint and check recovery's quarantine story.
+
+    Scenario: build and fragment an index, ``checkpoint(truncate=True)``
+    (so WAL replay of the damage is off the table), plant silent rot in a
+    committed leaf via :meth:`FaultyDisk.plant_rot` while its frame is
+    still resident-clean, then run one scrub pass — which must detect the
+    rot, quarantine the range, repair it through a targeted rebuild (the
+    resident frame is the authoritative copy) and lift the fence.  Each
+    schedule replays this with a crash armed at the *n*-th firing of one
+    ``scrub.*`` syncpoint, then recovers and asserts:
+
+    * recovery is clean, and any quarantine it reconstructs came from a
+      durably-flushed ``QUARANTINE`` set (never invented, never kept
+      after a durable lift — "correctly reconstructed or safely dropped");
+    * no reader ever sees a raw :class:`ChecksumError`: every expected
+      key either reads back or fails fast with
+      :class:`QuarantinedRangeError` inside a standing fence;
+    * a follow-up scrub pass converges: either the range healed (crash
+      landed after the rebuild's forced copies) and every key is back
+      with the fence lifted, or the crash lost the only good copy (the
+      resident frame died with the power) and the range stays fenced —
+      bounded degradation, with every key *outside* it intact.
+    """
+
+    def __init__(
+        self,
+        key_count: int = 1200,
+        seed: int = 13,
+        buffer_capacity: int = 2048,
+        victim_ordinal: int = 2,
+        rot_bit: int = 700,
+    ) -> None:
+        self.key_count = key_count
+        self.seed = seed
+        self.buffer_capacity = buffer_capacity
+        self.victim_ordinal = victim_ordinal
+        self.rot_bit = rot_bit
+
+    def _repair_policy(self):
+        from repro.core.supervisor import SupervisorConfig
+
+        # Unrecoverable ranges fail their rebuild on every schedule; keep
+        # the retry ladder short so sweeps stay fast.
+        return SupervisorConfig(max_attempts=2, retry_backoff=0.001)
+
+    def _build(self):
+        """Fresh rotted scenario; returns (engine, tree, expected, lost)."""
+        engine = Engine(
+            buffer_capacity=self.buffer_capacity,
+            lock_timeout=15.0,
+            fault_plan=FaultPlan(seed=self.seed),
+        )
+        tree = engine.create_index(key_len=4)
+        order = list(range(self.key_count))
+        random.Random(self.seed).shuffle(order)
+        for k in order:
+            tree.insert(_key(k), k)
+        for k in range(0, self.key_count, 2):
+            tree.delete(_key(k), k)
+        expected = set(range(1, self.key_count, 2))
+        engine.checkpoint(truncate=True)
+        stats = tree.verify()
+        victim = stats.leaf_page_ids[
+            self.victim_ordinal % len(stats.leaf_page_ids)
+        ]
+        page = engine.ctx.buffer.fetch(victim)
+        lost = {int.from_bytes(u[: tree.key_len], "big") for u in page.rows}
+        engine.ctx.buffer.unpin(victim)
+        if not engine.ctx.disk.plant_rot(victim, bit=self.rot_bit):
+            raise RuntimeError(f"no stored image for victim page {victim}")
+        return engine, tree, expected, lost
+
+    def _scrubber(self, tree):
+        from repro.core.scrubber import Scrubber
+
+        return Scrubber(tree, supervisor_policy=self._repair_policy())
+
+    def enumerate_points(self) -> list[Schedule]:
+        """One instrumented scrub pass; every ``scrub.*`` firing becomes a
+        crash schedule."""
+        engine, tree, _expected, _lost = self._build()
+        engine.syncpoints.record_fires = True
+        self._scrubber(tree).run_pass()
+        engine.syncpoints.record_fires = False
+        fired: dict[str, int] = {}
+        for name in engine.syncpoints.fired:
+            if name.startswith("scrub."):
+                fired[name] = fired.get(name, 0) + 1
+        return [
+            Schedule(kind="syncpoint", point=name, nth=nth)
+            for name in sorted(fired)
+            for nth in range(1, fired[name] + 1)
+        ]
+
+    def run_schedule(self, schedule: Schedule) -> ScrubScheduleOutcome:
+        from repro.errors import QuarantinedRangeError
+
+        outcome = ScrubScheduleOutcome(schedule=schedule.label())
+        engine, tree, expected, lost = self._build()
+        seen = {"n": 0}
+
+        def boom(_ctx: dict) -> None:
+            seen["n"] += 1
+            if seen["n"] == schedule.nth:
+                raise CrashPoint(schedule.point)
+
+        engine.syncpoints.on(schedule.point, boom)
+        try:
+            self._scrubber(tree).run_pass()
+        except CrashPoint:
+            outcome.crashed = True
+        except Exception as exc:  # noqa: BLE001 - report, don't propagate
+            outcome.error = f"scrub pass: {type(exc).__name__}: {exc}"
+            return outcome
+        try:
+            if outcome.crashed:
+                engine.crash()
+                engine.ctx.disk.disarm()
+                report = engine.recover()
+                outcome.refenced = bool(report.quarantine_ranges)
+                tree = engine.index(1)
+            outcome.recovered = True
+            # Converge: up to two follow-up passes (detect + confirm-lift).
+            scrubber = self._scrubber(tree)
+            scrubber.run_pass()
+            scrubber.run_pass()
+            standing = engine.quarantine.ranges(tree.index_id)
+            outcome.final_quarantined = len(standing)
+            readable, fenced = set(), set()
+            for k in sorted(expected):
+                try:
+                    if tree.contains(_key(k), k):
+                        readable.add(k)
+                    else:
+                        outcome.error = f"key {k} silently missing"
+                        return outcome
+                except QuarantinedRangeError:
+                    fenced.add(k)
+            outcome.healed = not fenced
+            if outcome.healed:
+                if standing:
+                    outcome.error = (
+                        f"no keys fenced but {len(standing)} quarantined "
+                        "range(s) still standing"
+                    )
+                    return outcome
+                tree.verify()
+            else:
+                if not standing:
+                    outcome.error = "keys fenced without a standing range"
+                    return outcome
+                if not lost <= fenced:
+                    outcome.error = (
+                        f"rotted keys outside the fence: "
+                        f"{sorted(lost - fenced)[:5]}"
+                    )
+                    return outcome
+        except Exception as exc:  # noqa: BLE001 - report, don't propagate
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    def run_sweep(
+        self,
+        schedules: list[Schedule] | None = None,
+        stride: int = 1,
+        limit: int | None = None,
+    ) -> ScrubSweepReport:
+        if schedules is None:
+            schedules = self.enumerate_points()
+        picked = schedules[::stride]
+        if limit is not None:
+            picked = picked[:limit]
+        report = ScrubSweepReport()
+        for schedule in picked:
+            outcome = self.run_schedule(schedule)
+            report.schedules_run += 1
+            report.crashes_simulated += int(outcome.crashed)
+            report.refences_seen += int(outcome.refenced)
+            report.heals += int(outcome.healed)
+            report.quarantines_standing += outcome.final_quarantined
+            report.outcomes.append(outcome)
+            if not outcome.ok:
+                report.failures.append(f"{outcome.schedule}: {outcome.error}")
+        return report
+
+
 def run_random_schedule(seed: int, **harness_kwargs) -> ScheduleOutcome:
     """Randomized smoke: pick one enumerated schedule by ``seed`` and run it.
 

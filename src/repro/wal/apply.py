@@ -127,7 +127,8 @@ def redo_record(rec: LogRecord, ctx: ApplyContext) -> None:
         _redo_keycopy(rec, ctx)
     elif t is RecordType.CLR:
         _redo_clr(rec, ctx)
-    # TXN_*, NTA_*, CHECKPOINT, REBUILD_PROGRESS have no page effects.
+    # TXN_*, NTA_*, CHECKPOINT, REBUILD_PROGRESS, QUARANTINE have no
+    # page effects.
 
 
 def _redo_alloc(rec: LogRecord, ctx: ApplyContext) -> None:
@@ -262,7 +263,7 @@ def apply_inverse(
     if t is RecordType.KEYCOPY:
         _undo_keycopy(rec, ctx, stamp_lsn, ts_checked)
         return
-    if t is RecordType.REBUILD_PROGRESS:
+    if t in (RecordType.REBUILD_PROGRESS, RecordType.QUARANTINE):
         # Standalone (txn id 0) bookkeeping: rollback never reaches one,
         # but tolerate it as a no-op rather than failing recovery.
         return

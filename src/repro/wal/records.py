@@ -29,6 +29,10 @@ REBUILD_PROGRESS     rebuild epoch + partition ordinal + state + segment
                      start key + last durably copied unit; appended
                      standalone (txn id 0) just before each rebuild batch
                      commit so the commit's flush makes it durable for free
+QUARANTINE           scrub epoch + set/lift state + quarantined unit range
+                     (same payload shape as REBUILD_PROGRESS); appended
+                     standalone (txn id 0) and flushed at set time so a
+                     crash never forgets known-damaged ranges
 ===================  ========================================================
 
 Records encode to bytes (what the log "disk" stores) and decode losslessly;
@@ -84,6 +88,7 @@ class RecordType(enum.IntEnum):
     FORMAT = 17
     ALLOCRUN = 18
     REBUILD_PROGRESS = 19
+    QUARANTINE = 20
 
 
 PROGRESS_RUNNING = 0
@@ -96,6 +101,14 @@ PROGRESS_SEGMENT_DONE = 1
 PROGRESS_COMPLETE = 2
 """``REBUILD_PROGRESS`` state: the entire rebuild finished — recovery must
 not resume anything from this epoch."""
+
+QUARANTINE_SET = 0
+"""``QUARANTINE`` state: the unit range ``[start_unit, last_unit)`` of
+``index_id`` is damaged and fenced off (``last_unit`` = b"" means
+to the end of the index)."""
+QUARANTINE_LIFT = 1
+"""``QUARANTINE`` state: the repair for the matching SET (same epoch)
+committed; the range is clean again."""
 
 
 @dataclass(slots=True)
@@ -353,7 +366,11 @@ class LogRecord:
             return struct.pack("<H", len(ids)) + b"".join(
                 struct.pack("<I", pid) for pid in ids
             )
-        if t is RecordType.REBUILD_PROGRESS:
+        if t in (RecordType.REBUILD_PROGRESS, RecordType.QUARANTINE):
+            # QUARANTINE reuses the progress payload shape: epoch is the
+            # scrub epoch, progress_state is QUARANTINE_SET / QUARANTINE_LIFT,
+            # start_unit/last_unit bound the quarantined range and index_id
+            # (header) names the index.
             return (
                 struct.pack(
                     "<QHBH",
@@ -486,7 +503,7 @@ class LogRecord:
                 self.page_ids.append(pid)
             if self.page_ids and not self.page_id:
                 self.page_id = self.page_ids[0]
-        elif t is RecordType.REBUILD_PROGRESS:
+        elif t in (RecordType.REBUILD_PROGRESS, RecordType.QUARANTINE):
             (
                 self.epoch,
                 self.partition,

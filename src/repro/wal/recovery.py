@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
+from repro.quarantine import QuarantineRange, quarantine_payload
 from repro.stats.counters import GLOBAL_COUNTERS, Counters
 from repro.storage.buffer import BufferPool
 from repro.storage.page_manager import PageManager, PageState
@@ -33,6 +34,7 @@ from repro.wal.log import LogManager
 from repro.wal.records import (
     PROGRESS_COMPLETE,
     PROGRESS_SEGMENT_DONE,
+    QUARANTINE_SET,
     LogRecord,
     RecordType,
 )
@@ -105,6 +107,10 @@ class RecoveryReport:
         default_factory=dict
     )
     """Index id → reconstructed rebuild progress (highest epoch only)."""
+    quarantine_ranges: list[QuarantineRange] = field(default_factory=list)
+    """Damaged-range quarantines still standing after replaying
+    ``QUARANTINE`` set/lift records (checkpoint state plus the log tail);
+    the engine re-fences them before serving traffic."""
 
     @property
     def rebuild_checkpoint(self) -> RebuildCheckpoint | None:
@@ -137,6 +143,7 @@ class RecoveryManager:
         records = list(self.log.scan(durable_only=True))
         checkpoint = self._analysis(records, report)
         self._rebuild_progress(records, report)
+        self._quarantine(records, report, checkpoint)
         self._redo(records, checkpoint_lsn=report.checkpoint_lsn, report=report)
         self._undo(records, report)
         self._reclaim_phantom_allocations(report)
@@ -217,6 +224,47 @@ class RecoveryManager:
                 part.last_unit = rec.last_unit
             if rec.progress_state == PROGRESS_SEGMENT_DONE:
                 part.done = True
+
+    # ----------------------------------------------------------- quarantine
+
+    def _quarantine(
+        self,
+        records: list[LogRecord],
+        report: RecoveryReport,
+        checkpoint: LogRecord | None,
+    ) -> None:
+        """Reconstruct standing quarantines: checkpoint snapshot + log tail.
+
+        Sets are flushed at fence time, so a crash can never forget a
+        known-damaged range; lifts ride later flushes, so a *lift* may be
+        forgotten — the range comes back fenced, which is safe (the next
+        scrub pass of a clean range lifts it again).  The checkpoint
+        payload carries the map too, so log truncation cannot drop a
+        standing quarantine either.
+        """
+        live: dict[tuple[int, int], QuarantineRange] = {}
+        payload = (checkpoint.payload_json or {}) if checkpoint else {}
+        for entry in payload.get("quarantine", []):
+            r = QuarantineRange(
+                index_id=int(entry["index_id"]),
+                start_unit=bytes.fromhex(entry["start_unit"]),
+                end_unit=bytes.fromhex(entry["end_unit"]),
+                epoch=int(entry["epoch"]),
+            )
+            live[(r.index_id, r.epoch)] = r
+        for rec in records:
+            if rec.type is not RecordType.QUARANTINE:
+                continue
+            if rec.lsn <= report.checkpoint_lsn:
+                continue  # already folded into the checkpoint snapshot
+            key = (rec.index_id, rec.epoch)
+            if rec.progress_state == QUARANTINE_SET:
+                live[key] = QuarantineRange(
+                    rec.index_id, rec.start_unit, rec.last_unit, rec.epoch
+                )
+            else:
+                live.pop(key, None)
+        report.quarantine_ranges = list(live.values())
 
     # ------------------------------------------------------------------- redo
 
@@ -302,6 +350,15 @@ class RecoveryManager:
         for pid in self.page_manager.allocated_pages():
             if self.buffer.is_resident(pid) or self.buffer.disk.exists(pid):
                 continue
+            # `exists()` reads a torn/corrupt image as absent, but a slot
+            # with stored bytes is rot, not a phantom reservation: freeing
+            # it would leave the tree pointing at a FREE page and erase the
+            # evidence the scrubber needs.  Only a slot that was never
+            # written (no bytes, or the all-zero never-formatted image) is
+            # a true phantom.
+            blob = self.buffer.disk.read_physical(pid)
+            if blob is not None and any(blob):
+                continue
             self.page_manager.force_state(pid, PageState.FREE)
             report.pages_freed.append(pid)
 
@@ -326,6 +383,7 @@ class RecoveryManager:
         payload = {
             "page_manager": self.page_manager.snapshot(),
             "index_meta": report.index_meta,
+            "quarantine": quarantine_payload(report.quarantine_ranges),
         }
         rec = LogRecord(type=RecordType.CHECKPOINT, payload_json=payload)
         lsn = self.log.append(rec)

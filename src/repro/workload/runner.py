@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 
 from repro.btree.tree import BTree
 from repro.errors import (
+    ChecksumError,
     DuplicateKeyError,
     KeyNotFoundError,
     LockTimeoutError,
+    QuarantinedRangeError,
     StorageError,
 )
 
@@ -39,6 +41,13 @@ class OltpStats:
     faults: int = 0
     """Operations that failed on an (injected) storage fault; each is also
     recorded in ``errors`` with the failing op's name."""
+    checksum_errors: int = 0
+    """Subset of ``faults``: reads that surfaced page rot (a CRC trailer
+    mismatch reached the user instead of being healed first)."""
+    quarantined_ops: int = 0
+    """Operations rejected fast by a standing quarantine — bounded,
+    *expected* unavailability while a repair runs, tallied separately
+    from faults so benches can tell degradation from damage."""
     errors: list[str] = field(default_factory=list)
     latency_samples: dict[str, list[float]] = field(default_factory=dict)
     """Per-op-class wall-clock latencies in seconds (completed ops only),
@@ -217,6 +226,25 @@ class MixedWorkload:
                         scans += 1
                         scan_rows += rows
                     samples[op].append(time.perf_counter() - began)
+                except QuarantinedRangeError as exc:
+                    # The op landed inside a fenced range: bounded,
+                    # deliberate unavailability while the repair runs —
+                    # never a reason to kill the worker.
+                    with self._lock:
+                        self.stats.quarantined_ops += 1
+                        self.stats.errors.append(
+                            f"{op} ordinal {i}: quarantined: {exc}"
+                        )
+                except ChecksumError as exc:
+                    # Page rot reached a reader before the scrubber did.
+                    # Record it against the op and keep going — the
+                    # self-healing tests assert this stays at zero.
+                    with self._lock:
+                        self.stats.faults += 1
+                        self.stats.checksum_errors += 1
+                        self.stats.errors.append(
+                            f"{op} ordinal {i}: {type(exc).__name__}: {exc}"
+                        )
                 except StorageError as exc:
                     # An (injected) I/O fault killed this op: record which
                     # op failed and keep the worker alive — fault runs stay

@@ -1,0 +1,337 @@
+"""The online integrity scrubber: detection, repair ladder, quarantine.
+
+Covers the three defect kinds (checksum rot, unreadable reads, structural
+violations), the ladder's two repair rungs (WAL replay vs quarantine +
+targeted rebuild), false-positive freedom on a healthy index, and the
+scrub counters / syncpoints the monitoring layer consumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.core.scrubber import ScrubConfig, Scrubber
+from repro.errors import QuarantinedRangeError, ScrubError
+from repro.storage.faults import FaultPlan
+
+from ..conftest import contents_as_ints, fill_index, intkey, make_half_empty
+
+
+def faulty_engine(**kwargs) -> Engine:
+    kwargs.setdefault("buffer_capacity", 2048)
+    kwargs.setdefault("lock_timeout", 15.0)
+    kwargs.setdefault("fault_plan", FaultPlan())
+    return Engine(**kwargs)
+
+
+def expected_after(engine: Engine, tree) -> list[int]:
+    return contents_as_ints(tree)
+
+
+# ------------------------------------------------------------- clean passes
+
+
+def test_clean_index_full_pass_no_defects():
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 2000)
+    scrubber = Scrubber(tree)
+    report = scrubber.run_pass()
+    assert report.complete
+    assert report.clean
+    assert report.pages_checked >= tree.verify().leaf_pages
+    assert engine.counters.scrub_passes == 1
+    assert engine.counters.scrub_defects_found == 0
+
+
+def test_single_leaf_root_pass():
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    for k in range(5):
+        tree.insert(intkey(k), k)
+    report = Scrubber(tree).run_pass()
+    assert report.complete and report.clean
+    assert report.pages_checked == 1
+
+
+def test_config_validation():
+    with pytest.raises(ScrubError):
+        ScrubConfig(crc_retries=-1)
+    with pytest.raises(ScrubError):
+        ScrubConfig(max_loop_factor=0)
+
+
+# --------------------------------------------------------- seeded detection
+
+
+def test_every_planted_rot_site_found_in_one_pass():
+    """Satellite: each FaultyDisk-planted rot site is surfaced within a
+    single pass (repair off so detections accumulate instead of healing)."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 3000)
+    engine.checkpoint()
+    disk = engine.ctx.disk
+    stats = tree.verify()
+    victims = stats.leaf_page_ids[1::5]  # every 5th leaf
+    assert victims
+    for i, pid in enumerate(victims):
+        assert disk.plant_rot(pid, bit=100 + 64 * i)
+    engine.ctx.buffer.evict_all()
+    scrubber = Scrubber(tree, config=ScrubConfig(repair=False))
+    report = scrubber.run_pass()
+    found = {d.page_id for d in report.defects}
+    assert set(disk.rot_sites) == set(victims)
+    assert found == set(victims), f"missed {set(victims) - found}"
+    assert engine.counters.scrub_defects_found == len(victims)
+
+
+def test_detect_only_leaves_quarantine_untouched():
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 1500)
+    engine.checkpoint()
+    engine.ctx.disk.plant_rot(tree.verify().leaf_page_ids[0])
+    engine.ctx.buffer.evict_all()
+    report = Scrubber(tree, config=ScrubConfig(repair=False)).run_pass()
+    assert not report.clean
+    assert all(d.action == "reported" for d in report.defects)
+    assert engine.quarantine.ranges(tree.index_id) == []
+
+
+# ------------------------------------------------------------ repair ladder
+
+
+def test_ladder2_unreadable_page_replayed_from_wal():
+    """Rot on a page whose full history is still in the durable log is
+    reconstructed by recovery replay — no quarantine, no rebuild."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 1500)
+    before = contents_as_ints(tree)
+    engine.ctx.buffer.flush_all()
+    victim = tree.verify().leaf_page_ids[2]
+    assert engine.ctx.disk.plant_rot(victim, bit=333)
+    engine.ctx.buffer.evict_all()  # the frame is gone; disk rot is all there is
+    report = Scrubber(tree).run_pass()
+    assert [d.kind for d in report.defects] == ["unreadable"]
+    assert report.defects[0].action == "replayed"
+    assert engine.counters.scrub_repairs_replay == 1
+    assert engine.quarantine.ranges(tree.index_id) == []
+    assert contents_as_ints(tree) == before
+    tree.verify()
+
+
+def test_ladder2_replay_of_bulk_loaded_leaf_keeps_chain_link():
+    """Regression: the bulk loader patched each leaf's next-link directly
+    on the buffered page without logging it, so a replay repair rebuilt
+    the leaf from its FORMAT history *without* the link — truncating the
+    leaf chain.  The patch is now WAL-logged (CHANGENEXTLINK); replay of
+    a bulk-loaded leaf must reproduce the full page, chain included."""
+    from repro.workload.builder import bulk_load
+
+    engine = faulty_engine()
+    tree = bulk_load(
+        engine, [intkey(i) for i in range(3000)], key_len=4, fill=0.9
+    )
+    before = contents_as_ints(tree)
+    engine.ctx.buffer.flush_all()
+    victim = tree.verify().leaf_page_ids[2]
+    assert engine.ctx.disk.plant_rot(victim, bit=99)
+    engine.ctx.buffer.evict_all()
+    report = Scrubber(tree).run_pass()
+    assert [d.action for d in report.defects] == ["replayed"]
+    assert engine.quarantine.ranges(tree.index_id) == []
+    tree.verify()  # the chain is whole: every leaf reachable
+    assert contents_as_ints(tree) == before
+
+
+def test_ladder3_flush_heals_resident_frame():
+    """Rot under a clean resident frame: the buffer still holds the good
+    image, so the repair is a re-flush, not a replay or rebuild."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 1500)
+    engine.ctx.buffer.flush_all()
+    victim = tree.verify().leaf_page_ids[1]  # verify left it resident
+    assert engine.ctx.buffer.is_resident(victim)
+    assert engine.ctx.disk.plant_rot(victim)
+    report = Scrubber(tree).run_pass()
+    assert [d.kind for d in report.defects] == ["checksum"]
+    assert report.defects[0].action == "flushed"
+    assert engine.counters.scrub_repairs_flush == 1
+    # The stored image verifies again.
+    assert Scrubber(tree).run_pass().clean
+
+
+def test_ladder3_quarantine_and_targeted_rebuild():
+    """Rot the WAL can no longer explain (history truncated) under a
+    still-resident frame: replay is ineligible, so the range is fenced,
+    the segment rebuilt online from the live frame, and the fence lifted
+    — the rest of the index never stops serving."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    expected = make_half_empty(tree, 3000)
+    before = contents_as_ints(tree)
+    engine.checkpoint(truncate=True)  # birth records gone: replay ineligible
+    victim = tree.verify().leaf_page_ids[3]
+    assert engine.ctx.disk.plant_rot(victim, bit=700)
+    report = Scrubber(tree).run_pass()
+    assert [d.kind for d in report.defects] == ["checksum"]
+    assert report.defects[0].action == "repaired"
+    assert engine.counters.scrub_quarantines == 1
+    assert engine.counters.scrub_quarantine_lifts == 1
+    assert engine.quarantine.ranges(tree.index_id) == []
+    assert contents_as_ints(tree) == before == sorted(expected)
+    tree.verify()
+
+
+def test_quarantine_stands_when_rebuild_fails(monkeypatch):
+    """A failed targeted rebuild leaves the fence up: readers in the
+    range fail fast with QuarantinedRangeError, the rest still serves."""
+    import repro.core.scrubber as scrubber_mod
+
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 3000)
+    engine.checkpoint(truncate=True)
+    victim = tree.verify().leaf_page_ids[3]
+    victim_keys = {
+        int.from_bytes(row[: tree.key_len], "big")
+        for row in engine.ctx.buffer.fetch(victim).rows
+    }
+    engine.ctx.buffer.unpin(victim)
+    assert engine.ctx.disk.plant_rot(victim, bit=42)
+    engine.ctx.buffer.evict_all()
+
+    from repro.errors import RebuildError
+
+    class FailingSupervisor:
+        def __init__(self, *a, **k):
+            pass
+
+        def run(self, *a, **k):
+            raise RebuildError("injected: repair rebuild denied")
+
+    monkeypatch.setattr(scrubber_mod, "RebuildSupervisor", FailingSupervisor)
+    report = Scrubber(tree).run_pass()
+    assert report.defects[0].action == "quarantine-stands"
+    assert "denied" in report.defects[0].error
+    standing = engine.quarantine.ranges(tree.index_id)
+    assert len(standing) == 1
+    sample = sorted(victim_keys)[len(victim_keys) // 2]
+    with pytest.raises(QuarantinedRangeError):
+        tree.contains(intkey(sample), sample)
+    with pytest.raises(QuarantinedRangeError):
+        tree.insert(intkey(sample), sample + 1)
+    # A key far outside the fence still serves.
+    outside = 0 if sample > 1500 else 2999
+    tree.contains(intkey(outside), outside)
+
+
+def test_clean_pass_lifts_stale_fence():
+    """A fence nothing re-confirms dirty (e.g. recovery re-fenced a range
+    whose LIFT record missed the final flush) is released by the next
+    complete clean pass."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 1200)
+    engine.quarantine.set_range(tree.index_id, intkey(100), intkey(200))
+    assert engine.quarantine.ranges(tree.index_id)
+    report = Scrubber(tree).run_pass()
+    assert report.complete and report.clean
+    assert engine.quarantine.ranges(tree.index_id) == []
+    assert engine.counters.scrub_quarantine_lifts == 1
+
+
+# ----------------------------------------------------------- structure kind
+
+
+def test_structural_damage_reported_not_rewritten():
+    """A page whose *content* violates local invariants (but checksums
+    fine) is diagnosed and reported; the scrubber never rewrites intact
+    bytes on its own."""
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 1500)
+    victim = tree.verify().leaf_page_ids[2]
+    page = engine.ctx.buffer.fetch(victim)
+    rows = [page.row(i) for i in range(page.nrows)]
+    page.delete_row(0)
+    page.insert_row(0, rows[1])  # duplicate first unit: ordering violation
+    engine.ctx.buffer.unpin(victim, dirty=True)
+    engine.ctx.buffer.flush_all()
+    report = Scrubber(tree).run_pass()
+    kinds = {d.kind for d in report.defects}
+    assert kinds == {"structure"}
+    assert all(d.action == "reported" for d in report.defects)
+    assert report.defects[0].problems
+
+
+# ----------------------------------------------------- pacing and lifecycle
+
+
+def test_background_thread_runs_passes_and_stops():
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 800)
+    scrubber = Scrubber(tree, config=ScrubConfig(pass_interval=0.01))
+    scrubber.start()
+    with pytest.raises(ScrubError):
+        scrubber.start()
+    import time
+
+    deadline = time.monotonic() + 10.0
+    while len(scrubber.passes) < 3 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    scrubber.stop()
+    assert len(scrubber.passes) >= 3
+    assert scrubber.last_error is None
+    assert all(p.complete and p.clean for p in scrubber.passes)
+
+
+def test_throttle_widens_pause_under_latency_pressure():
+    class FakeStats:
+        def __init__(self):
+            self.p99 = 99.0
+
+        def latency_percentiles(self):
+            return {"all": {"p50": 50.0, "p95": 90.0, "p99": self.p99}}
+
+    from repro.core.scrubber import ScrubReport
+
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 200)
+    stats = FakeStats()
+    scrubber = Scrubber(
+        tree,
+        config=ScrubConfig(
+            latency_budget_ms=1.0, throttle_step=0.001, throttle_cap=0.003
+        ),
+        oltp_stats=stats,
+    )
+    report = ScrubReport()
+    scrubber._pace(report)
+    scrubber._pace(report)
+    assert report.throttles == 2
+    assert engine.counters.scrub_throttles == 2
+    assert scrubber._pause > scrubber.config.pause
+    # Calm OLTP decays the pause back toward the configured baseline.
+    stats.p99 = 0.1
+    for _ in range(10):
+        scrubber._pace(report)
+    assert scrubber._pause == pytest.approx(scrubber.config.pause)
+
+
+def test_segment_epochs_track_coverage():
+    engine = faulty_engine()
+    tree = engine.create_index(key_len=4)
+    fill_index(tree, 2000)
+    scrubber = Scrubber(tree)
+    scrubber.run_pass()
+    assert scrubber.segment_epochs
+    assert set(scrubber.segment_epochs.values()) == {1}
+    scrubber.run_pass()
+    assert set(scrubber.segment_epochs.values()) == {2}

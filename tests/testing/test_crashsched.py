@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.testing import CrashScheduleHarness
+from repro.testing import CrashScheduleHarness, ScrubCrashHarness
 from repro.testing.crashsched import run_random_schedule
 
 
@@ -158,6 +158,34 @@ def test_parallel_exhaustive_resume_sweep():
     )
     assert report.ok, _fail_report(report)
     assert report.resumes_taken > 0
+
+
+# --------------------------------------------------------- scrubber crashes
+
+
+def _fail_scrub_report(report) -> str:
+    lines = [f"{len(report.failures)} scrub schedule(s) failed:"]
+    lines.extend(f"  {failure}" for failure in report.failures)
+    return "\n".join(lines)
+
+
+def test_scrub_crash_sweep_all_points():
+    """Crash the detect → quarantine → targeted-rebuild → lift ladder at
+    every ``scrub.*`` syncpoint.  After each crash, recovery must either
+    reconstruct the fence from a durable QUARANTINE record or drop it
+    safely, no reader may ever see a raw ChecksumError, and a follow-up
+    pass must converge (range healed, or fenced with everything outside
+    it intact)."""
+    harness = ScrubCrashHarness(key_count=1200, seed=13)
+    report = harness.run_sweep()
+    assert report.schedules_run >= 6, "scrub syncpoint enumeration shrank"
+    assert report.crashes_simulated == report.schedules_run
+    assert report.ok, _fail_scrub_report(report)
+    # Both recovery behaviors must actually be exercised by the sweep:
+    # fences reconstructed from durable SETs, and post-repair crashes
+    # that heal on the follow-up pass.
+    assert report.refences_seen > 0, "no schedule re-fenced after recovery"
+    assert report.heals > 0, "no schedule healed after recovery"
 
 
 @pytest.mark.skipif(

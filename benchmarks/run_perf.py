@@ -12,6 +12,8 @@ Usage (see ``docs/performance.md`` for the trajectory workflow)::
     PYTHONPATH=src python benchmarks/run_perf.py --workers-ab 3  # BENCH_PR6.json payload
     PYTHONPATH=src python benchmarks/run_perf.py --supervisor-ab 3  # BENCH_PR7.json payload
     PYTHONPATH=src python benchmarks/run_perf.py --pool-ab 3    # BENCH_PR8.json payload
+    PYTHONPATH=src python benchmarks/run_perf.py --scrub-ab 3   # BENCH_PR9.json payload
+    PYTHONPATH=src python benchmarks/run_perf.py --trace-ab 3   # BENCH_PR10.json payload
 """
 
 from repro.bench.perf import main

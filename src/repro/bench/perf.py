@@ -99,6 +99,18 @@ POOL_AB_THINK = 0.05
 SCRUB_AB_KEYS = 30_000
 SCRUB_AB_DURATION = 4.0
 
+# The trace A/B scenario (issue 10): end-to-end observability priced on
+# the fragmented-rebuild-under-OLTP hot path.  Every instrumented site
+# fires on the treatment side — WAL flush / group-commit spans, buffer
+# read spans, the rebuild span tree, per-op OLTP spans + histograms —
+# and the bar is <=2% foreground throughput overhead with tracing fully
+# enabled.  Disabled tracing must be *free*, which the determinism guard
+# checks the strongest way available: a single-threaded rebuild's
+# counters must come out byte-identical with tracing on and off, modulo
+# the obs_* counters themselves.
+TRACE_AB_KEYS = 30_000
+TRACE_AB_DURATION = 6.0
+
 
 @dataclass
 class PerfResult:
@@ -1033,6 +1045,183 @@ def run_scrub_ab(
     }
 
 
+def run_trace_ab(
+    rounds: int = 3,
+    key_count: int = TRACE_AB_KEYS,
+    seed: int = 42,
+    traffic_threads: int = 4,
+    duration: float = TRACE_AB_DURATION,
+) -> dict:
+    """Tracing-off vs tracing-on A/B plus a determinism guard; returns
+    the ``BENCH_PR10.json`` payload.
+
+    Each side builds and fragments a fresh index, then runs 2-worker
+    online rebuilds *back to back* for ``duration`` seconds while the
+    mixed workload hammers the odd key space.  A single rebuild finishes
+    in a couple hundred milliseconds, far too short a window to price a
+    microsecond-scale per-op cost against lock-contention noise; the
+    fixed multi-second window averages thousands of foreground ops over
+    a dozen-plus rebuild epochs instead.  Interleaved rounds; maxima
+    compared (noise is subtractive).
+    """
+    import threading
+
+    def build_fragmented(engine: Engine):
+        tree = bulk_load(
+            engine, [int4_key(i) for i in range(0, key_count, 2)],
+            INT4_KEY_LEN, fill=0.9,
+        )
+        rnd = random.Random(seed)
+        odd = list(range(1, key_count, 2))
+        rnd.shuffle(odd)
+        for i in odd:
+            tree.insert(int4_key(i), i)
+        evens = list(range(0, key_count, 2))
+        for ordinal in rnd.sample(evens, len(evens) // 3):
+            tree.delete(int4_key(ordinal), ordinal // 2)
+        return tree
+
+    def one_side(trace: bool) -> dict:
+        engine = Engine(
+            buffer_capacity=4096, lock_timeout=15.0, trace=trace,
+        )
+        tree = build_fragmented(engine)
+        workload = MixedWorkload(
+            tree, int4_key, key_count,
+            threads=traffic_threads, seed=seed,
+        )
+        done = threading.Event()
+        reports: list = []
+        rebuild_errors: list[str] = []
+
+        def churn() -> None:
+            while not done.is_set():
+                try:
+                    reports.append(
+                        OnlineRebuild(
+                            tree,
+                            RebuildConfig(
+                                ntasize=NTASIZE, parallel_workers=2,
+                            ),
+                        ).run()
+                    )
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    rebuild_errors.append(repr(exc))
+                    return
+
+        rebuilder = threading.Thread(target=churn, name="trace-ab-rebuild")
+        rebuilder.start()
+        try:
+            stats = workload.run_for(duration)
+        finally:
+            done.set()
+            rebuilder.join(timeout=60)
+        out = {
+            "ops_per_second": round(stats.ops_per_second, 1),
+            "operations": stats.operations,
+            "oltp_latency_ms": stats.latency_percentiles(),
+            "errors": len(stats.errors),
+            "window_seconds": round(stats.duration_seconds, 3),
+            "rebuilds_completed": len(reports),
+            "rebuild_errors": rebuild_errors,
+            "leaf_pages_rebuilt": sum(r.leaf_pages_rebuilt for r in reports),
+        }
+        if trace:
+            snap = engine.progress()
+            out["obs"] = {
+                "spans_recorded": engine.counters.obs_spans,
+                "spans_dropped": engine.counters.obs_spans_dropped,
+                "histograms": len(engine.metrics.histograms()),
+                "progress_phase": snap.phase,
+                "progress_units": snap.units_copied,
+            }
+        return out
+
+    def fingerprint(trace: bool) -> dict:
+        """Counters of a deterministic single-threaded rebuild, minus
+        the obs_* counters tracing itself maintains."""
+        engine = Engine(buffer_capacity=2048, trace=trace)
+        n = max(2_000, key_count // 10)
+        tree = bulk_load(
+            engine, [int4_key(i) for i in range(0, n, 2)],
+            INT4_KEY_LEN, fill=0.9,
+        )
+        rnd = random.Random(seed)
+        odd = list(range(1, n, 2))
+        rnd.shuffle(odd)
+        for i in odd:
+            tree.insert(int4_key(i), i)
+        OnlineRebuild(tree, RebuildConfig(ntasize=NTASIZE)).run()
+        return {
+            k: v
+            for k, v in engine.counters.snapshot().items()
+            if not k.startswith("obs_")
+        }
+
+    pairs = []
+    for n in range(1, rounds + 1):
+        entry: dict = {"pair": n}
+        entry["baseline"] = one_side(False)
+        entry["traced"] = one_side(True)
+        pairs.append(entry)
+
+    base_fp = fingerprint(False)
+    trace_fp = fingerprint(True)
+    counters_identical = base_fp == trace_fp
+    counters_diff = sorted(
+        k
+        for k in set(base_fp) | set(trace_fp)
+        if base_fp.get(k) != trace_fp.get(k)
+    )
+
+    base_best = max(p["baseline"]["ops_per_second"] for p in pairs)
+    trace_best = max(p["traced"]["ops_per_second"] for p in pairs)
+    summary = {
+        "oltp_ops_per_second": {
+            "baseline_max": base_best,
+            "traced_max": trace_best,
+            "overhead_percent": round(
+                (base_best - trace_best) / max(base_best, 1e-9) * 100.0, 2
+            ),
+        },
+        "oltp_latency_p99_ms": {
+            "baseline_min": min(
+                p["baseline"]["oltp_latency_ms"]["all"]["p99"] for p in pairs
+            ),
+            "traced_min": min(
+                p["traced"]["oltp_latency_ms"]["all"]["p99"] for p in pairs
+            ),
+        },
+        "spans_recorded_max": max(
+            p["traced"]["obs"]["spans_recorded"] for p in pairs
+        ),
+        "disabled_counters_identical": counters_identical,
+        "disabled_counters_diff": counters_diff,
+    }
+    return {
+        "benchmark": (
+            "benchmarks/run_perf.py --trace-ab: "
+            f"{traffic_threads}-thread mixed workload for {duration:.0f}s "
+            "per side while 2-worker online rebuilds of a fragmented "
+            f"{key_count}-key int4 index run back to back, tracing off "
+            "vs fully on (spans + histograms + progress)"
+        ),
+        "methodology": (
+            "Interleaved A/B on the same seeded workload and host over a "
+            "fixed multi-second window (thousands of ops across a dozen-"
+            "plus rebuild epochs, so lock-contention noise averages out); "
+            "maxima across rounds are compared for throughput, minima for "
+            "latency. Acceptance bars: traced-side throughput within 2% "
+            "of baseline; with tracing disabled, a deterministic "
+            "single-threaded rebuild's counters are byte-identical to an "
+            "untraced engine's modulo the obs_* counters (tracing off "
+            "costs nothing and changes nothing)."
+        ),
+        "pairs": pairs,
+        "summary": summary,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the repo's perf-trajectory scenario and emit JSON."
@@ -1110,6 +1299,12 @@ def main(argv: list[str] | None = None) -> int:
              "the BENCH_PR9.json payload",
     )
     parser.add_argument(
+        "--trace-ab", type=int, metavar="N", default=0,
+        help="interleaved tracing off/on A/B (rebuild under OLTP) plus a "
+             "disabled-determinism guard: N rounds, emitting the "
+             "BENCH_PR10.json payload",
+    )
+    parser.add_argument(
         "--scrub-duration", type=float, default=0.0,
         help="seconds of mixed workload per scrub A/B side "
              f"(default {SCRUB_AB_DURATION}; --quick uses 1.5)",
@@ -1183,6 +1378,16 @@ def main(argv: list[str] | None = None) -> int:
                     args.pool_shards if args.pool_shards > 1
                     else POOL_AB_SHARDS
                 ),
+            ),
+            indent=1,
+        )
+    elif args.trace_ab:
+        trace_keys = args.keys or (QUICK_KEYS if args.quick else TRACE_AB_KEYS)
+        payload = json.dumps(
+            run_trace_ab(
+                rounds=args.trace_ab, key_count=trace_keys, seed=args.seed,
+                traffic_threads=args.threads or 4,
+                duration=1.5 if args.quick else TRACE_AB_DURATION,
             ),
             indent=1,
         )

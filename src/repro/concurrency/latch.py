@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from collections import defaultdict
 
 from repro.errors import LatchError, LockTimeoutError
@@ -39,6 +40,10 @@ class _Latch:
 
 class LatchManager:
     """S/X latches keyed by page id."""
+
+    # Optional observability hook (set by EngineContext when tracing is
+    # on): contended waits record into the latch_wait_seconds histogram.
+    metrics = None
 
     def __init__(
         self,
@@ -97,6 +102,8 @@ class LatchManager:
                 held[page_id] = mode
                 return
             self.counters.add("latch_waits")
+            metrics = self.metrics
+            wait_start = time.monotonic() if metrics is not None else 0.0
             latch.waiters += 1
             self._waiting += 1
             try:
@@ -114,6 +121,10 @@ class LatchManager:
             finally:
                 latch.waiters -= 1
                 self._waiting -= 1
+                if metrics is not None:
+                    metrics.histogram("latch_wait_seconds").record(
+                        time.monotonic() - wait_start
+                    )
             self._grant(latch, page_id, mode, me)
         finally:
             mutex.release()

@@ -21,6 +21,9 @@ from repro.concurrency.latch import LatchManager, LatchMode
 from repro.concurrency.locks import LockManager
 from repro.concurrency.syncpoints import SyncPoints
 from repro.concurrency.txn import Transaction, TransactionManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.quarantine import QuarantineMap
 from repro.stats.counters import Counters
 from repro.storage.buffer import BufferPool
@@ -53,6 +56,17 @@ class EngineContext:
     """Damaged-key-range fencing installed by the integrity scrubber; every
     index operation consults it via its lock-free ``active`` flag (see
     :mod:`repro.quarantine`)."""
+    tracer: Tracer
+    """Trace-span sink (:data:`~repro.obs.tracer.NULL_TRACER` unless the
+    context was created with ``trace=True``); instrumented sites either
+    ``with ctx.tracer.span(...)`` uniformly or guard on ``tracer.enabled``
+    on the hottest paths."""
+    metrics: MetricsRegistry
+    """Histogram registry (latch wait, seam wait, WAL flush, ...); shares
+    the tracer's enablement — populated only when tracing is on."""
+    progress: ProgressReporter
+    """Live rebuild/scrub progress board; always active (posts are a few
+    attribute writes per top action), read via ``Engine.progress()``."""
 
     @classmethod
     def create(
@@ -71,6 +85,8 @@ class EngineContext:
         io_latency: float = 0.0,
         pool_shards: int = 1,
         ring_frames: int = 0,
+        trace: bool | None = None,
+        trace_capacity: int = 65536,
     ) -> "EngineContext":
         """Wire up a fresh engine: disk, pool, log, locks, transactions.
 
@@ -94,8 +110,28 @@ class EngineContext:
         pool's scan-resistant rebuild ring (0 = disabled, plain LRU) —
         the rebuild can also enable it for just its own duration via
         ``RebuildConfig.ring_frames``.
+
+        ``trace`` turns on the observability layer (:mod:`repro.obs`):
+        a live :class:`~repro.obs.tracer.Tracer` plus histogram metrics
+        threaded through the WAL, buffer pool, latch manager, rebuild,
+        supervisor, scrubber, and workload runner.  ``None`` (default)
+        reads the ``REPRO_TRACE`` environment variable (``1``/``true``
+        /``yes`` = on), so a whole test run can be traced without code
+        changes.  ``trace_capacity`` bounds the span ring buffer.
         """
         counters = counters if counters is not None else Counters()
+        if trace is None:
+            import os
+
+            trace = os.environ.get("REPRO_TRACE", "").lower() in (
+                "1", "true", "yes",
+            )
+        if trace:
+            tracer: Tracer = Tracer(capacity=trace_capacity, counters=counters)
+            metrics = MetricsRegistry(counters)
+        else:
+            tracer = NULL_TRACER
+            metrics = MetricsRegistry(counters)
         if storage_dir is not None:
             import os
 
@@ -155,7 +191,18 @@ class EngineContext:
             syncpoints=SyncPoints(),
             index_roots=index_roots,
             quarantine=QuarantineMap(counters=counters, log=log),
+            tracer=tracer,
+            metrics=metrics,
+            progress=ProgressReporter(),
         )
+        if trace:
+            # Subsystems record only when these optional hooks are set,
+            # so a disabled context pays a None-check at most.
+            log.tracer = tracer
+            log.metrics = metrics
+            buffer.tracer = tracer
+            buffer.metrics = metrics
+            latches.metrics = metrics
         txns.set_undo_applier(
             lambda rec, clr_lsn: undo_record(
                 rec,

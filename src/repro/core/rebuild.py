@@ -181,6 +181,7 @@ class OnlineRebuild:
         self._epoch = 0
         self._resume_seam = False
         self._progress_enabled = False
+        self._run_span = None  # root trace span of the current run
 
     # ------------------------------------------------------------ supervision
 
@@ -267,6 +268,24 @@ class OnlineRebuild:
             or resume_checkpoint.index_id != tree.index_id
         ):
             resume_checkpoint = None
+        if resume_checkpoint is not None:
+            # Superseded-epoch guard: resuming from a stale checkpoint
+            # would re-copy units a newer rebuild already moved (and log
+            # progress records recovery would then prefer).  Recovery
+            # itself only reconstructs the highest epoch, so this can
+            # only happen when a caller holds on to an old checkpoint
+            # object — reject it loudly instead of corrupting progress.
+            for rec in ctx.log.scan():
+                if (
+                    rec.type is RecordType.REBUILD_PROGRESS
+                    and rec.index_id == tree.index_id
+                    and rec.epoch > resume_checkpoint.epoch
+                ):
+                    raise RebuildError(
+                        f"stale rebuild checkpoint for index "
+                        f"{tree.index_id}: epoch {resume_checkpoint.epoch} "
+                        f"superseded by epoch {rec.epoch} in the log"
+                    )
         use_parallel = config.parallel_workers > 1 and all(
             v is None for v in (start_key, end_key, max_pages, resume_after)
         )
@@ -299,6 +318,18 @@ class OnlineRebuild:
         self._epoch = ctx.log.next_lsn
         self._progress_enabled = (
             config.log_progress and start_key is None and end_key is None
+        )
+        ctx.progress.rebuild_started(tree.index_id, self._epoch)
+        tracer = ctx.tracer
+        self._run_span = (
+            tracer.begin(
+                "rebuild.run",
+                index_id=tree.index_id,
+                epoch=self._epoch,
+                workers=config.parallel_workers if use_parallel else 1,
+            )
+            if tracer.enabled
+            else None
         )
         tree._rebuild_active = True  # type: ignore[attr-defined]
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
@@ -362,6 +393,15 @@ class OnlineRebuild:
                 ctx.buffer.set_ring_frames(saved_ring)
             chunk_alloc.close()
             tree._rebuild_active = False  # type: ignore[attr-defined]
+            ctx.progress.rebuild_finished(aborted=report.aborted)
+            if self._run_span is not None:
+                self._run_span.attrs = dict(
+                    self._run_span.attrs or {},
+                    completed=report.completed,
+                    aborted=report.aborted,
+                )
+                tracer.finish(self._run_span)
+                self._run_span = None
         report.wall_seconds = timer.wall_seconds
         report.cpu_seconds = timer.cpu_seconds
         report.counter_deltas = ctx.counters.diff(counters_before)
@@ -400,6 +440,7 @@ class OnlineRebuild:
           coverage start stamped into this worker's progress records.
         """
         ctx, config = self.ctx, self.config
+        tracer = ctx.tracer
         probe: bytes | None = (
             start_probe if start_probe is not None else self._start_unit
         )
@@ -409,6 +450,7 @@ class OnlineRebuild:
         filled_one = fill_pp_first
         progress_logged: bytes | None = None
         self._beats[partition] = time.monotonic()
+        ctx.progress.phase_change("copy")
         done = False
         while not done:
             txn = ctx.txns.begin()
@@ -453,22 +495,26 @@ class OnlineRebuild:
                     if p1 is None:
                         done = True
                         break
-                    outcome = self._one_top_action(
-                        txn, chunk_alloc, traversal, p1, txn_new_pages,
-                        report,
-                        txn_force_pages=txn_force_pages,
-                        stop_before=stop_before,
-                        fill_pp=filled_one,
-                        pp_busy_wait=(
-                            # Only the seam top action (the worker's first)
-                            # can find its PP held by the left neighbor;
-                            # afterwards PP is this worker's own page and
-                            # the default instant-lock wait applies.
-                            self._seam_wait(seam_token, pool)
-                            if not filled_one
-                            else None
-                        ),
-                    )
+                    with tracer.span(
+                        "rebuild.top_action", partition=partition
+                    ):
+                        outcome = self._one_top_action(
+                            txn, chunk_alloc, traversal, p1, txn_new_pages,
+                            report,
+                            txn_force_pages=txn_force_pages,
+                            stop_before=stop_before,
+                            fill_pp=filled_one,
+                            pp_busy_wait=(
+                                # Only the seam top action (the worker's
+                                # first) can find its PP held by the left
+                                # neighbor; afterwards PP is this worker's
+                                # own page and the default instant-lock
+                                # wait applies.
+                                self._seam_wait(seam_token, pool)
+                                if not filled_one
+                                else None
+                            ),
+                        )
                     if outcome is None:
                         continue  # position lost; rediscover and retry
                     filled_one = True
@@ -477,6 +523,7 @@ class OnlineRebuild:
                     probe = resume_unit + b"\x00"
                     seam = True  # in-run probes are resume probes
                     pages_this_txn += rebuilt
+                    ctx.progress.add_units(rebuilt, worker=partition)
                     self._beats[partition] = time.monotonic()
                     done = reached_end
                     if (
@@ -505,10 +552,14 @@ class OnlineRebuild:
             # take the abort path (synchronous flush) before anything is
             # freed, so the invariant is enforced, never assumed.
             try:
-                if self._scheduler is not None:
-                    self._scheduler.force(force_pages).wait()
-                else:
-                    ctx.buffer.flush_pages(force_pages)
+                with tracer.span(
+                    "rebuild.force", pages=len(force_pages),
+                    partition=partition,
+                ):
+                    if self._scheduler is not None:
+                        self._scheduler.force(force_pages).wait()
+                    else:
+                        ctx.buffer.flush_pages(force_pages)
             except CrashPoint:
                 raise
             except BaseException as exc:
@@ -535,7 +586,8 @@ class OnlineRebuild:
                     PROGRESS_RUNNING,
                 )
                 progress_logged = report.resume_unit
-            ctx.txns.commit(txn)
+            with tracer.span("rebuild.commit", partition=partition):
+                ctx.txns.commit(txn)
             report.pages_freed += self._free_deallocated_of(txn)
             report.transactions += 1
             ctx.counters.add("rebuild_transactions")
@@ -588,12 +640,14 @@ class OnlineRebuild:
             report.parallel_workers = 1
             return  # single-leaf tree: nothing to relocate
         scheduler = self._scheduler
-        plan = plan_partitions(
-            ctx, self.tree, config, first, config.parallel_workers,
-            prefetch_hint=(
-                scheduler.prefetch_chain if scheduler is not None else None
-            ),
-        )
+        with ctx.tracer.span("rebuild.plan"):
+            plan = plan_partitions(
+                ctx, self.tree, config, first, config.parallel_workers,
+                prefetch_hint=(
+                    scheduler.prefetch_chain if scheduler is not None else None
+                ),
+            )
+        ctx.progress.set_units_total(plan.leaves_walked)
         ctx.syncpoints.fire(
             "rebuild.partition.planned",
             segments=len(plan.segments),
@@ -687,6 +741,12 @@ class OnlineRebuild:
                 t.join()
         finally:
             self._pool = None
+        ctx.progress.phase_change("merge")
+        merge_span = (
+            ctx.tracer.begin("rebuild.merge", workers=len(threads))
+            if ctx.tracer.enabled
+            else None
+        )
         for sub in reports:
             report.leaf_pages_rebuilt += sub.leaf_pages_rebuilt
             report.new_leaf_pages += sub.new_leaf_pages
@@ -706,6 +766,8 @@ class OnlineRebuild:
             completed=report.completed,
             aborted=report.aborted,
         )
+        if merge_span is not None:
+            ctx.tracer.finish(merge_span)
         if pool.crash is not None:
             raise pool.crash
         if pool.error is not None:
@@ -728,6 +790,17 @@ class OnlineRebuild:
         chunk_alloc = ChunkAllocator(ctx.page_manager, config.chunk_size)
         traversal = Traversal(ctx, self.tree, scan=True)
         left_token = tokens[ordinal - 1] if ordinal > 0 else None
+        tracer = ctx.tracer
+        # Cross-thread parenting: this thread's span stack is empty, so
+        # the worker span is parented explicitly under the driver's
+        # rebuild.run span; everything the worker emits nests under it.
+        worker_span = (
+            tracer.begin(
+                "rebuild.worker", parent=self._run_span, worker=ordinal
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             ctx.syncpoints.fire(
                 "rebuild.partition.worker_start",
@@ -777,6 +850,8 @@ class OnlineRebuild:
             # complete it on *every* exit (a failed worker released its
             # locks during abort, and a crashed one stops the pool).
             tokens[ordinal].complete()
+            if tracer.enabled:
+                tracer.event("rebuild.seam_release", worker=ordinal)
             try:
                 ctx.syncpoints.fire(
                     "rebuild.partition.seam_released", worker=ordinal
@@ -786,6 +861,8 @@ class OnlineRebuild:
             except BaseException:  # noqa: BLE001 - thread boundary
                 pass
             chunk_alloc.close()
+            if worker_span is not None:
+                tracer.finish(worker_span)
 
     def _seam_wait(
         self,
@@ -802,8 +879,18 @@ class OnlineRebuild:
         token *and* without posting a pool crash/error, this worker fails
         cleanly through the pool instead of hanging it forever."""
         ctx = self.ctx
+        tracer = ctx.tracer
         timeout = self.config.watchdog_timeout
-        state = {"deadline": 0.0}
+        state: dict = {"deadline": 0.0, "span": None}
+
+        def _finish_span() -> None:
+            span = state["span"]
+            if span is not None:
+                state["span"] = None
+                tracer.finish(span)
+                ctx.metrics.histogram("seam_wait_seconds").record(
+                    span.duration
+                )
 
         def busy_wait() -> bool:
             if pool is not None and pool.crash is not None:
@@ -811,12 +898,19 @@ class OnlineRebuild:
             if token is None or token.done:
                 # Left neighbor finished (or aborted and released its
                 # locks): the ordinary instant-lock wait takes over.
+                _finish_span()
                 return False
             now = time.monotonic()
             if not state["deadline"]:
                 state["deadline"] = now + timeout
+                if tracer.enabled:
+                    # The seam wait is a series of discrete busy polls;
+                    # one span covers the whole episode, opened at the
+                    # first busy poll and closed when the token is done.
+                    state["span"] = tracer.begin("rebuild.seam_wait")
             elif now >= state["deadline"]:
                 ctx.counters.add("seam_wait_timeouts")
+                _finish_span()
                 raise RebuildError(
                     "seam wait exceeded watchdog_timeout "
                     f"({timeout:.1f}s) without the left neighbor "

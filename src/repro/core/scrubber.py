@@ -247,6 +247,12 @@ class Scrubber:
         self._epoch += 1
         report = ScrubReport(epoch=self._epoch)
         ctx.counters.add("scrub_passes")
+        ctx.progress.scrub_pass_started()
+        pass_span = (
+            ctx.tracer.begin("scrub.pass", epoch=self._epoch)
+            if ctx.tracer.enabled
+            else None
+        )
         ctx.syncpoints.fire("scrub.pass_start", epoch=self._epoch)
         handled: set[int] = set()
         stale_counts: dict[int, int] = {}
@@ -289,6 +295,16 @@ class Scrubber:
                     "scrub.lift", page=NO_PAGE, start=qrange.start_unit
                 )
         self.passes.append(report)
+        ctx.progress.scrub_leaves(report.pages_checked)
+        ctx.progress.scrub_pass_finished()
+        if pass_span is not None:
+            pass_span.attrs = dict(
+                pass_span.attrs or {},
+                checked=report.pages_checked,
+                defects=len(report.defects),
+                complete=report.complete,
+            )
+            ctx.tracer.finish(pass_span)
         ctx.syncpoints.fire(
             "scrub.pass_done",
             epoch=self._epoch,
@@ -660,12 +676,27 @@ class Scrubber:
             handled.add(page_id)
             return _PageResult("defect", next_page, has_next)
         handled.add(page_id)
-        if self._try_replay(page_id, defect):
-            ctx.syncpoints.fire(
-                "scrub.repair", page=page_id, action=defect.action
-            )
-            return _PageResult("repaired")
-        return self._quarantine_and_rebuild(defect)
+        tracer = ctx.tracer
+        repair_span = (
+            tracer.begin("scrub.repair", page=page_id, kind=kind)
+            if tracer.enabled
+            else None
+        )
+        try:
+            if self._try_replay(page_id, defect):
+                ctx.syncpoints.fire(
+                    "scrub.repair", page=page_id, action=defect.action
+                )
+                return _PageResult("repaired")
+            return self._quarantine_and_rebuild(defect)
+        finally:
+            if repair_span is not None:
+                # The rung the ladder ended on (flushed / replayed /
+                # repaired / quarantine-stands) is the span's verdict.
+                repair_span.attrs = dict(
+                    repair_span.attrs or {}, action=defect.action
+                )
+                tracer.finish(repair_span)
 
     def _try_replay(self, page_id: int, defect: ScrubDefect) -> bool:
         """Ladder rung 2: rebuild the page image from WAL history alone.
@@ -807,6 +838,10 @@ class Scrubber:
                 pause = max(config.pause, pause - config.throttle_step)
         self._pause = pause
         if pause > 0.0:
+            if self.ctx.tracer.enabled:
+                self.ctx.metrics.histogram("scrub_pause_seconds").record(
+                    pause
+                )
             time.sleep(pause)
 
     # ------------------------------------------------------- height-1 trees

@@ -201,6 +201,15 @@ class RebuildSupervisor:
                 )
             monitor = _Monitor(self, rebuild, report)
             monitor.start()
+            attempt_span = (
+                ctx.tracer.begin(
+                    "supervisor.attempt",
+                    attempt=attempt,
+                    workers=config.parallel_workers,
+                )
+                if ctx.tracer.enabled
+                else None
+            )
             try:
                 final = rebuild.run(
                     # A resume supersedes the start bound (the driver
@@ -225,6 +234,8 @@ class RebuildSupervisor:
             finally:
                 monitor.stop()
                 self.rebuild = None
+                if attempt_span is not None:
+                    ctx.tracer.finish(attempt_span)
             failed = rebuild.last_report
             if failed is not None:
                 report.attempt_reports.append(failed)
@@ -242,12 +253,13 @@ class RebuildSupervisor:
                 attempt=attempt,
                 error=type(last_error).__name__,
             )
-            self._wake.wait(
-                min(
-                    policy.retry_backoff * (1 << (attempt - 1)),
-                    policy.retry_backoff_cap,
+            with ctx.tracer.span("supervisor.retry_backoff", attempt=attempt):
+                self._wake.wait(
+                    min(
+                        policy.retry_backoff * (1 << (attempt - 1)),
+                        policy.retry_backoff_cap,
+                    )
                 )
-            )
         report.gave_up = last_error is not None
         if report.gave_up:
             ctx.counters.add("supervisor_gave_up")
@@ -328,6 +340,10 @@ class _Monitor(threading.Thread):
                     self._tripped = True
                     self.report.watchdog_trips += 1
                     ctx.counters.add("watchdog_trips")
+                    if ctx.tracer.enabled:
+                        ctx.tracer.event(
+                            "supervisor.watchdog_trip", worker=ordinal
+                        )
                     ctx.syncpoints.fire(
                         "rebuild.supervisor.watchdog", worker=ordinal
                     )
@@ -364,6 +380,10 @@ class _Monitor(threading.Thread):
                 rebuild.throttle_sleep = widened
                 self.report.throttles += 1
                 ctx.counters.add("supervisor_throttles")
+                if ctx.tracer.enabled:
+                    ctx.tracer.event(
+                        "supervisor.throttle", sleep=widened, burst=burst
+                    )
                 ctx.syncpoints.fire(
                     "rebuild.supervisor.throttle", sleep=widened, burst=burst
                 )

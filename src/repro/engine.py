@@ -50,6 +50,8 @@ class Engine:
         io_latency: float = 0.0,
         pool_shards: int = 1,
         ring_frames: int = 0,
+        trace: bool | None = None,
+        trace_capacity: int = 65536,
     ) -> None:
         self.ctx = EngineContext.create(
             page_size=page_size,
@@ -66,6 +68,8 @@ class Engine:
             io_latency=io_latency,
             pool_shards=pool_shards,
             ring_frames=ring_frames,
+            trace=trace,
+            trace_capacity=trace_capacity,
         )
         self.storage_dir = storage_dir
         self.lock_rows = lock_rows
@@ -125,6 +129,27 @@ class Engine:
         """Damaged-range fencing (see :mod:`repro.quarantine`): empty until
         the integrity scrubber quarantines a rotted segment for repair."""
         return self.ctx.quarantine
+
+    @property
+    def tracer(self):  # noqa: ANN201
+        """Span sink (see :mod:`repro.obs.tracer`); the shared no-op
+        :data:`~repro.obs.tracer.NULL_TRACER` unless built with
+        ``trace=True`` (or ``REPRO_TRACE=1``)."""
+        return self.ctx.tracer
+
+    @property
+    def metrics(self):  # noqa: ANN201
+        """Histogram registry + exporters (see :mod:`repro.obs.metrics`);
+        histograms populate only when tracing is enabled."""
+        return self.ctx.metrics
+
+    def progress(self):  # noqa: ANN201
+        """Live rebuild/scrub progress: a
+        :class:`~repro.obs.progress.ProgressSnapshot` with phase, units
+        copied (monotonic within an epoch), total estimate, per-worker
+        breakdown, ETA, and scrub pass state.  Always available — the
+        reporter runs whether or not tracing is on."""
+        return self.ctx.progress.snapshot()
 
     # ---------------------------------------------------------------- catalog
 
@@ -209,6 +234,8 @@ class Engine:
         from repro.wal.apply import ApplyContext, undo_record
 
         ctx.latches = LatchManager(counters=ctx.counters)
+        if ctx.tracer.enabled:
+            ctx.latches.metrics = ctx.metrics
         ctx.locks = LockManager(counters=ctx.counters)
         ctx.txns = TransactionManager(ctx.log, counters=ctx.counters)
         ctx.txns.set_undo_applier(

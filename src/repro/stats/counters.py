@@ -110,9 +110,18 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "scrub_throttles",           # pacing sleeps widened by OLTP p99 pressure
     "quarantine_blocked_ops",    # reads/writes rejected inside a quarantined range
     "quarantine_records",        # durable QUARANTINE log records appended
+    # Observability (repro/obs, PR 10).
+    "obs_spans",                 # trace spans recorded into the ring sink
+    "obs_spans_dropped",         # spans evicted from a full ring (oldest first)
 )
 
 _FIELD_SET = frozenset(COUNTER_FIELDS)
+
+
+class UnknownCounterError(KeyError):
+    """Raised when :meth:`Counters.add` names a counter that was never
+    declared — almost always a typo that would otherwise count into the
+    void and let an assertion pass vacuously."""
 
 
 class Counters:
@@ -124,7 +133,7 @@ class Counters:
     and :meth:`snapshot` / :meth:`diff` from benchmarks.
     """
 
-    __slots__ = ("_lock", "_base", "_local", "_shards")
+    __slots__ = ("_lock", "_base", "_local", "_shards", "_dynamic")
 
     def __init__(self, **initial: int) -> None:
         self._lock = threading.Lock()
@@ -132,10 +141,31 @@ class Counters:
         self._base: dict[str, int] = dict.fromkeys(COUNTER_FIELDS, 0)
         self._local = threading.local()
         self._shards: list[dict[str, int]] = []
+        # Names declared at runtime via register() — the escape hatch
+        # for dynamic counters the static COUNTER_FIELDS can't list.
+        self._dynamic: frozenset[str] = frozenset()
         for name, value in initial.items():
             if name not in _FIELD_SET:
                 raise TypeError(f"unknown counter {name!r}")
             self._base[name] = int(value)
+
+    def register(self, name: str) -> None:
+        """Declare a dynamic counter on this instance (idempotent).
+
+        The static :data:`COUNTER_FIELDS` catches typos; ``register``
+        is the opt-out for names only known at runtime (e.g. per-op or
+        imported metric names).  Registered names work with :meth:`add`,
+        attribute reads, :meth:`snapshot` and :meth:`reset` exactly like
+        static ones, but are not pre-allocated in thread shards (their
+        shard slots appear on first use)."""
+        if not name or name.startswith("_"):
+            raise ValueError(f"invalid counter name {name!r}")
+        if name in _FIELD_SET:
+            return
+        with self._lock:
+            if name not in self._dynamic:
+                self._dynamic = self._dynamic | {name}
+                self._base.setdefault(name, 0)
 
     # ------------------------------------------------------------------- hot
 
@@ -149,7 +179,21 @@ class Counters:
             shard = self._local.shard
         except AttributeError:
             shard = self._register_shard()
-        shard[name] += amount
+        try:
+            shard[name] += amount
+        except KeyError:
+            self._slow_add(shard, name, amount)
+
+    def _slow_add(self, shard: dict[str, int], name: str, amount: int) -> None:
+        # Off the hot path: either a registered dynamic counter whose
+        # slot this shard hasn't materialized yet, or a typo.
+        if name in self._dynamic:
+            shard[name] = shard.get(name, 0) + amount
+            return
+        raise UnknownCounterError(
+            f"unknown counter {name!r}{_suggest(name)}; declare it in "
+            f"COUNTER_FIELDS or call register({name!r}) for dynamic names"
+        )
 
     # Alias used by hot paths for brevity.
     bump = add
@@ -188,9 +232,10 @@ class Counters:
         return {name: now[name] - before.get(name, 0) for name in now}
 
     def reset(self) -> None:
-        """Zero every counter (between benchmark iterations; quiescent)."""
+        """Zero every counter (between benchmark iterations; quiescent).
+        Dynamic registrations survive the reset."""
         with self._lock:
-            self._base = dict.fromkeys(COUNTER_FIELDS, 0)
+            self._base = dict.fromkeys(self._base, 0)
             for shard in self._shards:
                 for name in shard:
                     shard[name] = 0
@@ -199,21 +244,29 @@ class Counters:
 
     def __getattr__(self, name: str) -> int:
         # Only reached for names not in __slots__: counter reads.
-        if name in _FIELD_SET:
+        if name.startswith("_"):
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        if name in _FIELD_SET or name in self._dynamic:
             with self._lock:
                 total = self._base[name]
                 for shard in self._shards:
-                    total += shard[name]
+                    total += shard.get(name, 0)
             return total
         raise AttributeError(
-            f"{type(self).__name__!r} object has no attribute {name!r}"
+            f"{type(self).__name__!r} object has no counter "
+            f"{name!r}{_suggest(name)}"
         )
 
     def __setattr__(self, name: str, value: object) -> None:
-        if name in _FIELD_SET:
+        if name in _FIELD_SET or (
+            not name.startswith("_") and name in self._dynamic
+        ):
             with self._lock:
                 for shard in self._shards:
-                    shard[name] = 0
+                    if name in shard:
+                        shard[name] = 0
                 self._base[name] = int(value)  # type: ignore[call-overload]
         else:
             object.__setattr__(self, name, value)
@@ -221,6 +274,14 @@ class Counters:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         hot = {k: v for k, v in self.snapshot().items() if v}
         return f"Counters({hot})"
+
+
+def _suggest(name: str) -> str:
+    """Did-you-mean fragment for an unknown counter name, or ''."""
+    import difflib
+
+    close = difflib.get_close_matches(name, COUNTER_FIELDS, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
 
 
 class Timer:

@@ -194,6 +194,12 @@ class BufferPool:
     for the striping and scan-resistance design.
     """
 
+    # Optional observability hooks (set by EngineContext when tracing is
+    # on): miss reads emit buffer.read spans + buffer_read_seconds
+    # samples, ring gang-flushes emit buffer.gang_flush spans.
+    tracer = None
+    metrics = None
+
     def __init__(
         self,
         disk: Disk,
@@ -343,9 +349,20 @@ class BufferPool:
                         self._read_aligned_run(shard, page_id, scan)
                         frame = shard.lookup(page_id)
                     if frame is None:
+                        tracer = self.tracer
+                        if tracer is not None:
+                            read_span = tracer.begin(
+                                "buffer.read", page_id=page_id, scan=scan
+                            )
+                            read_start = time.monotonic()
                         image = self._io_unlocked(
                             shard, lambda: self.disk.read(page_id)
                         )
+                        if tracer is not None:
+                            self.metrics.histogram(
+                                "buffer_read_seconds"
+                            ).record(time.monotonic() - read_start)
+                            tracer.finish(read_span)
                         # The lock was released: a prefetch or run read may
                         # have admitted the page meanwhile.
                         frame = shard.lookup(page_id)
@@ -960,12 +977,20 @@ class BufferPool:
                 self._wal_hook(max_lsn)
             self.disk.write_many(images)
 
+        tracer = self.tracer
+        gang_span = (
+            tracer.begin("buffer.gang_flush", pages=len(batch))
+            if tracer is not None
+            else None
+        )
         shard.writing.update(batch)
         try:
             self._io_unlocked(shard, _wal_then_write)
         finally:
             shard.writing.difference_update(batch)
             shard.cond.notify_all()
+            if gang_span is not None:
+                tracer.finish(gang_span)
         self.counters.add("page_writes", len(batch))
         for pid, (fr, version) in batch.items():
             if shard.lookup(pid) is fr and fr.version == version:

@@ -37,6 +37,13 @@ from repro.wal.records import LogRecord, RecordType
 class LogManager:
     """An append-only, crash-truncatable record log."""
 
+    # Optional observability hooks (set by EngineContext when tracing is
+    # on): physical flushes emit wal.flush spans and record into the
+    # wal_flush_seconds histogram; group-commit rounds emit
+    # wal.group_commit spans with follower counts.
+    tracer = None
+    metrics = None
+
     def __init__(self, counters: Counters | None = None) -> None:
         self.counters = counters if counters is not None else GLOBAL_COUNTERS
         self._records: list[bytes] = []
@@ -124,7 +131,19 @@ class LogManager:
         upto = bisect_right(self._offsets, lsn)
         if upto <= self._flushed_upto:
             return
-        self._write_flushed(self._flushed_upto, upto)
+        tracer = self.tracer
+        if tracer is not None:
+            flush_span = tracer.begin(
+                "wal.flush", records=upto - self._flushed_upto
+            )
+            start = time.monotonic()
+            self._write_flushed(self._flushed_upto, upto)
+            self.metrics.histogram("wal_flush_seconds").record(
+                time.monotonic() - start
+            )
+            tracer.finish(flush_span)
+        else:
+            self._write_flushed(self._flushed_upto, upto)
         self._flushed_upto = upto
         self.counters.add("log_flushes")
         self._flush_cv.notify_all()  # wake group-commit followers we covered
@@ -150,14 +169,24 @@ class LogManager:
             self._gc_target = max(self._gc_target, lsn)
             if self._gc_leader:
                 # Follower: wait for a flush that covers us.
+                metrics = self.metrics
+                wait_start = time.monotonic() if metrics is not None else 0.0
                 while not (
                     self._flushed_upto
                     and self._offsets[self._flushed_upto - 1] >= lsn
                 ):
                     self._flush_cv.wait(timeout=1.0)
                 self.counters.add("log_flushes_coalesced")
+                if metrics is not None:
+                    metrics.histogram("group_commit_wait_seconds").record(
+                        time.monotonic() - wait_start
+                    )
                 return
             self._gc_leader = True
+        tracer = self.tracer
+        round_span = (
+            tracer.begin("wal.group_commit") if tracer is not None else None
+        )
         window = self.group_commit_window
         try:
             time.sleep(window)
@@ -168,6 +197,8 @@ class LogManager:
                 self._gc_leader = False
                 self._advance_locked(target)
                 self._flush_cv.notify_all()
+        if round_span is not None:
+            tracer.finish(round_span)
 
     # ------------------------------------------------------------------- scan
 

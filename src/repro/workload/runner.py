@@ -27,6 +27,7 @@ from repro.errors import (
     QuarantinedRangeError,
     StorageError,
 )
+from repro.obs.metrics import oltp_op
 
 
 @dataclass
@@ -68,23 +69,34 @@ class OltpStats:
 
         Tail percentiles are what a rebuild running alongside the workload
         actually moves — mean throughput can look flat while blocked-time
-        spikes show up squarely in p99.  Nearest-rank on the raw samples;
-        classes with no samples are omitted.
+        spikes show up squarely in p99.  Nearest-rank on the raw samples.
+        Every standard op class (``insert`` / ``delete`` / ``scan``) and
+        ``all`` is always present with exactly ``p50``/``p95``/``p99``
+        keys: a class with no samples reports 0.0 across the board, and a
+        single sample is its own p50 = p95 = p99 — so benches and
+        dashboards can index the dict without existence checks.
         """
         out: dict[str, dict[str, float]] = {}
         merged: list[float] = []
+        for op in ("insert", "delete", "scan"):
+            samples = self.latency_samples.get(op, [])
+            out[op] = _percentiles_ms(samples)
+            merged.extend(samples)
+        # Nonstandard classes a custom workload recorded still show up,
+        # and still feed the merged view.
         for op, samples in sorted(self.latency_samples.items()):
-            if samples:
+            if op not in out:
                 out[op] = _percentiles_ms(samples)
                 merged.extend(samples)
-        if merged:
-            out["all"] = _percentiles_ms(merged)
+        out["all"] = _percentiles_ms(merged)
         return out
 
 
 def _percentiles_ms(samples: list[float]) -> dict[str, float]:
     ordered = sorted(samples)
     n = len(ordered)
+    if n == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def rank(p: float) -> float:
         idx = max(0, min(n - 1, int(p * n + 0.5) - 1))
@@ -182,6 +194,17 @@ class MixedWorkload:
         samples: dict[str, list[float]] = {
             "insert": [], "delete": [], "scan": []
         }
+        # Per-op tracing rides on the engine context the tree runs
+        # against; everything below stays a single bool check per op when
+        # tracing is off (the default).
+        ctx = getattr(self.tree, "ctx", None)
+        tracer = ctx.tracer if ctx is not None else None
+        trace_on = tracer is not None and tracer.enabled
+        hists = (
+            {op: ctx.metrics.histogram(oltp_op(op)) for op in samples}
+            if trace_on
+            else {}
+        )
         try:
             while not self._stop.is_set():
                 if self.think_time > 0.0:
@@ -201,6 +224,11 @@ class MixedWorkload:
                     else "scan"
                 )
                 began = time.perf_counter()
+                op_span = (
+                    tracer.begin(f"oltp.{op}", worker=ordinal)
+                    if trace_on
+                    else None
+                )
                 try:
                     if op == "insert":
                         try:
@@ -225,7 +253,10 @@ class MixedWorkload:
                                 break
                         scans += 1
                         scan_rows += rows
-                    samples[op].append(time.perf_counter() - began)
+                    elapsed = time.perf_counter() - began
+                    samples[op].append(elapsed)
+                    if trace_on:
+                        hists[op].record(elapsed)
                 except QuarantinedRangeError as exc:
                     # The op landed inside a fenced range: bounded,
                     # deliberate unavailability while the repair runs —
@@ -254,6 +285,9 @@ class MixedWorkload:
                         self.stats.errors.append(
                             f"{op} ordinal {i}: {type(exc).__name__}: {exc}"
                         )
+                finally:
+                    if op_span is not None:
+                        tracer.finish(op_span)
         except LockTimeoutError as exc:
             with self._lock:
                 self.stats.errors.append(f"timeout: {exc}")

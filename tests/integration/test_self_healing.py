@@ -10,7 +10,7 @@ key space serving uninterrupted throughout.
 
 from __future__ import annotations
 
-import time
+import threading
 
 from repro import Engine
 from repro.core.scrubber import ScrubConfig, Scrubber
@@ -49,17 +49,31 @@ def test_self_healing_under_oltp():
     scrubber = Scrubber(
         tree, config=ScrubConfig(pass_interval=0.01), oltp_stats=workload.stats
     )
+    # Rendezvous on the scrubber's own syncpoints instead of polling
+    # counters on a sleep loop: "healed" means a fence was lifted AND a
+    # later pass completed clean (re-verifying the whole index).  The
+    # hooks run on the scrubber thread; the test just waits on the Event
+    # with a hard deadline.
+    lifted = threading.Event()
+    healed = threading.Event()
+    engine.syncpoints.on("scrub.lift", lambda _ctx: lifted.set())
+
+    def on_pass_done(ctx: dict) -> None:
+        if lifted.is_set() and ctx["complete"] and ctx["defects"] == 0:
+            healed.set()
+
+    engine.syncpoints.on("scrub.pass_done", on_pass_done)
+
     workload.start()
     scrubber.start()
     try:
-        deadline = time.monotonic() + 60.0
-        while time.monotonic() < deadline:
-            if engine.counters.scrub_quarantine_lifts > 0 and any(
-                p.complete and p.clean for p in scrubber.passes
-            ):
-                break
-            time.sleep(0.02)
+        assert healed.wait(timeout=60.0), (
+            "scrubber never lifted the fence and re-verified clean: "
+            f"lifted={lifted.is_set()} passes={len(scrubber.passes)} "
+            f"last_error={scrubber.last_error}"
+        )
     finally:
+        engine.syncpoints.clear()
         scrubber.stop()
         stats_out = workload.stop()
 

@@ -1,0 +1,168 @@
+"""End-to-end observability acceptance (issue 10).
+
+A 2-worker parallel rebuild runs under a concurrent mixed workload on a
+trace-enabled engine.  The recorded span forest must contain the full
+rebuild skeleton — plan, per-worker copy (with top actions), seam
+release, merge, commit — correctly parented under the rebuild root, and
+``Engine.progress()`` polled throughout must be monotonic in units
+copied.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import Engine, OnlineRebuild, RebuildConfig
+from repro.workload.runner import MixedWorkload
+from tests.conftest import contents_as_ints, intkey, make_half_empty
+
+
+def test_trace_tree_completeness_parallel_rebuild_under_oltp():
+    engine = Engine(buffer_capacity=4096, lock_timeout=15.0, trace=True)
+    assert engine.tracer.enabled
+    index = engine.create_index(key_len=4)
+    key_count = 6000
+    make_half_empty(index, key_count)
+    expected = contents_as_ints(index)
+
+    # Poll Engine.progress() from a sampler thread for the whole run.
+    snapshots = []
+    stop = threading.Event()
+
+    def sampler() -> None:
+        while not stop.is_set():
+            snapshots.append(engine.progress())
+            stop.wait(0.005)
+
+    workload = MixedWorkload(
+        index, intkey, key_count, threads=2, seed=11, write_fraction=0.5
+    )
+    poller = threading.Thread(target=sampler)
+    workload.start()
+    poller.start()
+    try:
+        report = OnlineRebuild(
+            index,
+            RebuildConfig(ntasize=8, xactsize=16, parallel_workers=2),
+        ).run()
+    finally:
+        stop.set()
+        poller.join(timeout=10)
+        stats = workload.stop()
+    assert not poller.is_alive()
+    assert report.completed and not report.aborted
+    assert stats.errors == []
+
+    # ------------------------------------------------------- span forest
+    spans = engine.tracer.spans()
+    by_name: dict[str, list] = {}
+    for s in spans:
+        by_name.setdefault(s.name, []).append(s)
+
+    (run,) = by_name["rebuild.run"]
+    assert run.parent_id is None
+    assert run.attrs["workers"] == 2
+    assert run.attrs["completed"] is True
+
+    (plan,) = by_name["rebuild.plan"]
+    assert plan.parent_id == run.span_id
+
+    workers = by_name["rebuild.worker"]
+    assert len(workers) == 2
+    worker_ids = set()
+    for w in workers:
+        assert w.parent_id == run.span_id
+        worker_ids.add(w.span_id)
+    assert {w.attrs["worker"] for w in workers} == {0, 1}
+
+    tops = by_name["rebuild.top_action"]
+    assert tops, "no top actions traced"
+    assert all(t.parent_id in worker_ids for t in tops)
+    # Both partitions did copy work.
+    assert {t.attrs["partition"] for t in tops} == {0, 1}
+
+    commits = by_name["rebuild.commit"]
+    assert commits
+    assert all(c.parent_id in worker_ids for c in commits)
+
+    forces = by_name["rebuild.force"]
+    assert forces
+    assert all(f.parent_id in worker_ids for f in forces)
+
+    releases = by_name["rebuild.seam_release"]
+    assert len(releases) == 2  # one per worker, point-in-time events
+    assert all(r.duration < 0.001 for r in releases)
+
+    (merge,) = by_name["rebuild.merge"]
+    assert merge.parent_id == run.span_id
+    # The merge happens after every worker's copying is done.
+    assert merge.start >= max(w.start for w in workers)
+
+    # OLTP spans interleave with the rebuild on the same clock.
+    oltp = [s for s in spans if s.name.startswith("oltp.")]
+    assert oltp, "workload ops were not traced"
+    assert all(s.parent_id is None for s in oltp)
+
+    # Every span is finished (end stamped) and timestamps are sane.
+    for s in spans:
+        assert s.end >= s.start
+
+    # -------------------------------------------------- progress samples
+    in_epoch = [s for s in snapshots if s.epoch == run.attrs["epoch"]]
+    assert in_epoch, "sampler never caught the rebuild epoch"
+    units = [s.units_copied for s in in_epoch]
+    assert units == sorted(units), "units_copied regressed mid-epoch"
+    final = engine.progress()
+    assert final.phase == "complete"
+    assert final.units_copied == report.leaf_pages_rebuilt
+    assert final.units_total is not None
+    assert final.fraction == 1.0
+    assert set(final.workers) == {0, 1}
+    assert sum(final.workers.values()) == final.units_copied
+
+    # --------------------------------------------------- metrics filled
+    hists = engine.metrics.to_json()["histograms"]
+    assert "wal_flush_seconds" in hists
+    assert any(name.startswith("oltp_") for name in hists)
+
+    # The tree survived it all.
+    post = set(contents_as_ints(index))
+    assert {k for k in expected if k % 2 == 0} <= post
+    index.verify()
+
+
+def test_counters_identical_with_tracing_modulo_obs(monkeypatch):
+    """Tracing must not change engine *behavior*: a deterministic
+    single-threaded run yields byte-identical counters with tracing on
+    and off, modulo the obs_* counters themselves."""
+
+    def run(trace: bool) -> dict:
+        engine = Engine(buffer_capacity=2048, trace=trace)
+        index = engine.create_index(key_len=4)
+        make_half_empty(index, 1500)
+        OnlineRebuild(index, RebuildConfig(ntasize=8, xactsize=16)).run()
+        return engine.counters.snapshot()
+
+    base = run(False)
+    traced = run(True)
+    for snap in (base, traced):
+        for key in list(snap):
+            if key.startswith("obs_"):
+                del snap[key]
+    assert base == traced
+
+
+def test_repro_trace_env_enables_tracing(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    engine = Engine(buffer_capacity=256)
+    assert engine.tracer.enabled
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    engine = Engine(buffer_capacity=256)
+    assert not engine.tracer.enabled
+    monkeypatch.delenv("REPRO_TRACE")
+    engine = Engine(buffer_capacity=256)
+    assert not engine.tracer.enabled
+    # An explicit argument beats the environment.
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    engine = Engine(buffer_capacity=256, trace=False)
+    assert not engine.tracer.enabled

@@ -1,8 +1,14 @@
-"""Thread-safety tests for the sharded Counters."""
+"""Thread-safety and name-validation tests for the sharded Counters."""
 
 import threading
 
-from repro.stats.counters import COUNTER_FIELDS, Counters
+import pytest
+
+from repro.stats.counters import (
+    COUNTER_FIELDS,
+    Counters,
+    UnknownCounterError,
+)
 
 
 def test_add_and_snapshot():
@@ -92,3 +98,83 @@ def test_reset_zeroes_every_shard():
     assert c.page_reads == 12
     c.reset()
     assert all(c.snapshot()[f] == 0 for f in COUNTER_FIELDS)
+
+
+# ------------------------------------------------------- name validation
+#
+# The regression these lock in: a typo'd counter name used to vanish into
+# a dynamically-grown shard key (add) or a silent 0 (read) — a stat could
+# be "collected" all run and never reported.  Now both directions raise,
+# with a did-you-mean hint, unless the name was explicitly register()ed.
+
+
+def test_add_with_typo_raises():
+    c = Counters()
+    with pytest.raises(UnknownCounterError) as exc:
+        c.add("page_raeds")
+    assert "page_reads" in str(exc.value)  # did-you-mean suggestion
+    assert "register" in str(exc.value)  # escape-hatch hint
+
+
+def test_read_with_typo_raises_attribute_error():
+    c = Counters()
+    with pytest.raises(AttributeError) as exc:
+        _ = c.latch_aquires
+    assert "latch_acquires" in str(exc.value)
+
+
+def test_unknown_counter_error_is_a_key_error():
+    # add() callers that caught KeyError before the rename keep working.
+    assert issubclass(UnknownCounterError, KeyError)
+
+
+def test_register_escape_hatch():
+    c = Counters()
+    c.register("bench_custom_ops")
+    c.add("bench_custom_ops", 3)
+    assert c.bench_custom_ops == 3
+    assert c.snapshot()["bench_custom_ops"] == 3
+    # Registration is per-instance: a fresh Counters still rejects it.
+    with pytest.raises(UnknownCounterError):
+        Counters().add("bench_custom_ops")
+
+
+def test_register_rejects_bad_names():
+    c = Counters()
+    with pytest.raises(ValueError):
+        c.register("")
+    with pytest.raises(ValueError):
+        c.register("_private")
+
+
+def test_register_is_idempotent_and_static_names_are_noop():
+    c = Counters()
+    c.register("bench_custom_ops")
+    c.register("bench_custom_ops")
+    c.register("page_reads")  # already static: fine, no effect
+    c.add("bench_custom_ops")
+    assert c.bench_custom_ops == 1
+
+
+def test_reset_preserves_registered_names():
+    c = Counters()
+    c.register("bench_custom_ops")
+    c.add("bench_custom_ops", 9)
+    c.reset()
+    assert c.bench_custom_ops == 0
+    c.add("bench_custom_ops", 2)  # still registered after reset
+    assert c.bench_custom_ops == 2
+
+
+def test_registered_name_visible_across_threads():
+    c = Counters()
+    c.register("bench_custom_ops")
+
+    def work():
+        c.add("bench_custom_ops", 5)
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join()
+    c.add("bench_custom_ops", 1)
+    assert c.bench_custom_ops == 6

@@ -124,6 +124,9 @@ def test_redirty_during_eviction_write_is_not_lost(counters):
     writer.join(timeout=5)
     evictor.join(timeout=5)
     assert completed
+    # Both threads actually finished — a timed-out join returns silently,
+    # and flush_all below would deadlock behind a still-running eviction.
+    assert not writer.is_alive() and not evictor.is_alive()
     pool.flush_all()
     fresh = BufferPool(disk.inner, capacity=8, counters=counters)
     assert fresh.fetch(4).rows == [b"late-update"]
@@ -173,4 +176,5 @@ def test_two_shards_write_concurrently(counters):
     for t in threads:
         t.join(timeout=5)
     assert overlapped, "shard evictions serialized instead of overlapping"
+    assert not any(t.is_alive() for t in threads), "evictions never finished"
     assert sorted(entered)[:2] == [1, 2]

@@ -5,6 +5,7 @@ import pytest
 
 from repro import Engine, OnlineRebuild, RebuildConfig
 from repro.concurrency.syncpoints import CrashPoint
+from repro.errors import RebuildError
 from repro.core.partition import segments_from_checkpoint
 from repro.wal.recovery import PartitionProgress, RebuildCheckpoint
 from tests.conftest import contents_as_ints, make_half_empty
@@ -182,6 +183,57 @@ def test_higher_epoch_supersedes_older_progress():
     # Exactly one RUNNING record from the new epoch: one committed batch.
     assert ckpt.partitions[0].last_unit != first.partitions[0].last_unit
     assert ckpt.resume_key() is not None
+
+
+def test_two_crashed_rebuilds_leave_only_highest_epoch_checkpoint():
+    """Back-to-back crashed rebuilds: recovery exposes exactly one
+    resumable checkpoint, carrying the *second* run's epoch — the first
+    run's durable progress is dead weight in the log, never a resume
+    candidate."""
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    make_half_empty(index, 4000)
+    _crash_rebuild(engine, index, "rebuild.txn_committed", 2)
+    engine.recover()
+    first = engine.rebuild_checkpoint(1)
+    assert first is not None
+    index = engine.index(1)
+    _crash_rebuild(engine, index, "rebuild.txn_committed", 1)
+    engine.recover()
+    # One checkpoint per index, and it is the newest epoch's.
+    assert set(engine.rebuild_checkpoints) == {1}
+    ckpt = engine.rebuild_checkpoint(1)
+    assert ckpt is not None and ckpt.epoch > first.epoch
+
+
+def test_resume_from_stale_epoch_rejected():
+    """Resuming from a checkpoint whose epoch a newer rebuild has
+    superseded must fail loudly: the stale coverage map describes a tree
+    layout the newer run already replaced."""
+    engine = Engine(buffer_capacity=2048)
+    index = engine.create_index(key_len=4)
+    make_half_empty(index, 4000)
+    _crash_rebuild(engine, index, "rebuild.txn_committed", 2)
+    engine.recover()
+    stale = engine.rebuild_checkpoint(1)
+    assert stale is not None
+    # A newer rebuild starts (and crashes), logging a higher epoch.
+    index = engine.index(1)
+    _crash_rebuild(engine, index, "rebuild.txn_committed", 1)
+    engine.recover()
+    index = engine.index(1)
+    with pytest.raises(RebuildError, match="superseded"):
+        OnlineRebuild(index, RebuildConfig(ntasize=4, xactsize=8)).run(
+            resume_checkpoint=stale
+        )
+    # The engine is not wedged: resuming from the *current* checkpoint
+    # still finishes the rebuild.
+    current = engine.rebuild_checkpoint(1)
+    assert current is not None
+    OnlineRebuild(index, RebuildConfig(ntasize=4, xactsize=8)).run(
+        resume_checkpoint=current
+    )
+    index.verify()
 
 
 def test_recovery_reconstructs_parallel_checkpoint():

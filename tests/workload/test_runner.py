@@ -102,9 +102,48 @@ def test_latency_percentiles_nearest_rank():
 
 
 def test_latency_percentiles_empty_stats():
+    """No samples at all: every standard class (and ``all``) is still
+    present with the exact p50/p95/p99 key set, all zeros — callers can
+    index without existence checks."""
     from repro.workload.runner import OltpStats
 
-    assert OltpStats().latency_percentiles() == {}
+    out = OltpStats().latency_percentiles()
+    assert set(out) == {"insert", "delete", "scan", "all"}
+    for cls in out.values():
+        assert cls == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_latency_percentiles_single_sample():
+    from repro.workload.runner import OltpStats
+
+    stats = OltpStats(latency_samples={"scan": [0.004]})
+    out = stats.latency_percentiles()
+    assert set(out) == {"insert", "delete", "scan", "all"}
+    # One sample is its own p50 = p95 = p99.
+    assert out["scan"] == {"p50": 4.0, "p95": 4.0, "p99": 4.0}
+    assert out["all"] == {"p50": 4.0, "p95": 4.0, "p99": 4.0}
+    # Classes with no samples report zeros, same key set.
+    assert out["insert"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_latency_percentiles_nonstandard_class_included():
+    from repro.workload.runner import OltpStats
+
+    stats = OltpStats(latency_samples={"lookup": [0.001, 0.003]})
+    out = stats.latency_percentiles()
+    assert set(out) == {"insert", "delete", "scan", "lookup", "all"}
+    assert out["lookup"]["p99"] == 3.0
+    assert out["all"]["p99"] == 3.0
+
+
+def test_latency_percentiles_exactly_three_keys():
+    from repro.workload.runner import OltpStats
+
+    stats = OltpStats(
+        latency_samples={"insert": [0.002, 0.001], "delete": [], "scan": []}
+    )
+    for cls in stats.latency_percentiles().values():
+        assert set(cls) == {"p50", "p95", "p99"}
 
 
 def test_workload_collects_latency_samples():
